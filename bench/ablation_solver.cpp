@@ -1,0 +1,152 @@
+// google-benchmark microbenchmarks of the ILP substrate: LP solves, MILP
+// branch-and-bound, warm vs cold starts, and representative ILPPAR models.
+#include <benchmark/benchmark.h>
+
+#include "hetpar/ilp/branch_and_bound.hpp"
+#include "hetpar/ilp/simplex.hpp"
+#include "hetpar/parallel/ilppar_model.hpp"
+#include "hetpar/support/rng.hpp"
+
+namespace {
+
+using namespace hetpar;
+using namespace hetpar::ilp;
+
+/// Random dense-ish LP with `n` variables and `n` rows.
+Model randomLp(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Model m("lp");
+  std::vector<Var> xs;
+  for (int i = 0; i < n; ++i) xs.push_back(m.addContinuous(0, 10, "x" + std::to_string(i)));
+  for (int r = 0; r < n; ++r) {
+    LinearExpr lhs;
+    for (int i = 0; i < n; ++i)
+      if (rng.chance(0.3)) lhs += LinearExpr::term(double(rng.range(1, 5)), xs[size_t(i)]);
+    m.addLe(lhs, double(rng.range(n, 4 * n)));
+  }
+  LinearExpr obj;
+  for (int i = 0; i < n; ++i) obj += LinearExpr::term(double(rng.range(1, 9)), xs[size_t(i)]);
+  m.setObjective(obj, Sense::Maximize);
+  return m;
+}
+
+void BM_SimplexDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Model m = randomLp(n, 42);
+  std::vector<double> lb, ub;
+  for (const auto& v : m.vars()) {
+    lb.push_back(v.lowerBound);
+    ub.push_back(v.upperBound);
+  }
+  StandardForm sf = buildLp(m, lb, ub);
+  for (auto _ : state) {
+    BoundedSimplex splx;
+    benchmark::DoNotOptimize(splx.solve(sf.problem));
+  }
+}
+BENCHMARK(BM_SimplexDense)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+Model knapsack(int items, std::uint64_t seed) {
+  Rng rng(seed);
+  Model m("knap");
+  LinearExpr w, v;
+  for (int i = 0; i < items; ++i) {
+    Var x = m.addBool("x" + std::to_string(i));
+    w += LinearExpr::term(double(rng.range(2, 30)), x);
+    v += LinearExpr::term(double(rng.range(2, 40)), x);
+  }
+  m.addLe(w, items * 8.0);
+  m.setObjective(v, Sense::Maximize);
+  return m;
+}
+
+void BM_BnbKnapsack(benchmark::State& state) {
+  Model m = knapsack(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    BranchAndBoundSolver solver;
+    benchmark::DoNotOptimize(solver.solve(m));
+  }
+}
+BENCHMARK(BM_BnbKnapsack)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_WarmVsColdRestart(benchmark::State& state) {
+  const bool warmStart = state.range(0) != 0;
+  Model m = randomLp(96, 11);
+  std::vector<double> lb, ub;
+  for (const auto& v : m.vars()) {
+    lb.push_back(v.lowerBound);
+    ub.push_back(v.upperBound);
+  }
+  StandardForm sf = buildLp(m, lb, ub);
+  BoundedSimplex splx;
+  SimplexBasis basis;
+  splx.solve(sf.problem, 0, nullptr, &basis);
+  for (auto _ : state) {
+    // Tighten one variable bound (the branch-and-bound pattern).
+    sf.problem.upper[0] = sf.problem.upper[0] > 5 ? 5.0 : 10.0;
+    benchmark::DoNotOptimize(
+        splx.solve(sf.problem, 0, warmStart ? &basis : nullptr, nullptr));
+  }
+}
+BENCHMARK(BM_WarmVsColdRestart)->Arg(0)->Arg(1);
+
+parallel::IlpRegion representativeRegion(int children, int classes) {
+  parallel::IlpRegion r;
+  r.name = "bench";
+  r.seqPC = 0;
+  r.maxProcs = 4;
+  r.maxTasks = 4;
+  r.taskCreationSeconds = 25e-6;
+  r.numProcsPerClass.assign(static_cast<std::size_t>(classes), 2);
+  for (int i = 0; i < children; ++i) {
+    parallel::IlpChild c;
+    for (int cls = 0; cls < classes; ++cls) {
+      parallel::IlpCandidate cand;
+      cand.timeSeconds = (1.0 + i % 3) * 1e-3 / (1 + cls);
+      cand.extraProcs.assign(static_cast<std::size_t>(classes), 0);
+      c.byClass.push_back({cand});
+    }
+    r.children.push_back(std::move(c));
+    if (i > 0 && i % 2 == 0) {
+      parallel::IlpEdgeSpec e;
+      e.from = i - 1;
+      e.to = i;
+      e.commSeconds = 5e-6;
+      r.edges.push_back(e);
+    }
+  }
+  return r;
+}
+
+void BM_IlpParSolve(benchmark::State& state) {
+  const auto region = representativeRegion(static_cast<int>(state.range(0)),
+                                           static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    BranchAndBoundSolver solver;
+    benchmark::DoNotOptimize(parallel::solveIlpPar(region, solver));
+  }
+}
+BENCHMARK(BM_IlpParSolve)->Args({4, 1})->Args({4, 3})->Args({8, 1})->Args({8, 3});
+
+void BM_ChunkIlpSolve(benchmark::State& state) {
+  parallel::ChunkRegion r;
+  r.name = "bench";
+  r.iterations = state.range(0);
+  r.secondsPerIter = {50e-9, 20e-9, 10e-9};
+  r.seqPC = 0;
+  r.maxProcs = 4;
+  r.maxTasks = 4;
+  r.taskCreationSeconds = 25e-6;
+  r.numProcsPerClass = {1, 1, 2};
+  r.commInLatency = 5e-7;
+  r.commInSecondsPerIter = 1e-9;
+  for (auto _ : state) {
+    BranchAndBoundSolver solver;
+    benchmark::DoNotOptimize(parallel::solveChunkIlp(r, solver));
+  }
+}
+BENCHMARK(BM_ChunkIlpSolve)->Arg(64)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

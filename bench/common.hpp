@@ -1,0 +1,61 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "hetpar/benchsuite/suite.hpp"
+#include "hetpar/sim/measure.hpp"
+#include "hetpar/support/strings.hpp"
+
+namespace hetpar::bench {
+
+/// Both scenarios for one benchmark on one platform. The heterogeneous
+/// parallelization is platform-dependent but scenario-independent, so it
+/// runs once; the homogeneous baseline re-plans per scenario (its uniform
+/// platform view is derived from the scenario's main core).
+using ScenarioPair = sim::ScenarioResults;
+
+inline ScenarioPair evaluateBoth(const std::string& name, const std::string& source,
+                                 const platform::Platform& pf,
+                                 const sim::EvalOptions& options = {}) {
+  return sim::evaluateBenchmarkAllScenarios(name, source, pf, options);
+}
+
+/// Parses `--benchmarks a,b,c` style filters; empty = full suite.
+inline std::vector<benchsuite::Benchmark> selectBenchmarks(int argc, char** argv) {
+  std::string filter;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--benchmarks=", 0) == 0) filter = arg.substr(13);
+  }
+  if (filter.empty()) return benchsuite::suite();
+  std::vector<benchsuite::Benchmark> out;
+  for (const std::string& name : strings::split(filter, ','))
+    out.push_back(benchsuite::find(std::string(strings::trim(name))));
+  return out;
+}
+
+inline void printScenarioTable(const char* title, double limit,
+                               const std::vector<std::string>& names,
+                               const std::vector<double>& homog,
+                               const std::vector<double>& hetero) {
+  std::printf("\n%s (theoretical maximum speedup: %.1fx, dashed line)\n", title, limit);
+  std::printf("%-14s %14s %16s\n", "benchmark", "homogeneous", "heterogeneous");
+  std::printf("%-14s %14s %16s\n", "---------", "-----------", "-------------");
+  double sumHom = 0.0;
+  double sumHet = 0.0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    std::printf("%-14s %13.2fx %15.2fx\n", names[i].c_str(), homog[i], hetero[i]);
+    sumHom += homog[i];
+    sumHet += hetero[i];
+  }
+  if (!names.empty()) {
+    std::printf("%-14s %13.2fx %15.2fx\n", "average",
+                sumHom / static_cast<double>(names.size()),
+                sumHet / static_cast<double>(names.size()));
+  }
+}
+
+}  // namespace hetpar::bench

@@ -1,0 +1,36 @@
+// Platform design-space exploration: how does the achievable speedup react
+// to the big/little frequency ratio? Sweeps 2-big+2-little platforms with
+// growing heterogeneity and parallelizes the same kernel for each — the kind
+// of what-if study the tool flow enables before silicon exists.
+#include <cstdio>
+
+#include "hetpar/benchsuite/suite.hpp"
+#include "hetpar/platform/presets.hpp"
+#include "hetpar/sim/measure.hpp"
+
+int main() {
+  using namespace hetpar;
+  const auto& bench = benchsuite::find("mult_10");
+
+  std::printf("Design-space exploration: %s on 2 little + 2 big cores\n", bench.name.c_str());
+  std::printf("(big fixed at 500 MHz; little frequency swept)\n\n");
+  std::printf("%-14s %10s %12s %12s %12s\n", "little (MHz)", "limit", "het speedup",
+              "hom speedup", "het/hom");
+
+  for (double littleMHz : {500.0, 250.0, 125.0, 62.5}) {
+    const platform::Platform pf =
+        platform::custom("sweep", {{littleMHz, 2}, {500.0, 2}});
+    std::fprintf(stderr, "[explorer] little=%.1f MHz ...\n", littleMHz);
+    const sim::EvalResult r = sim::evaluateBenchmark(
+        bench.name, bench.source, pf, sim::Scenario::SlowerCores);
+    std::printf("%-14.1f %9.2fx %11.2fx %11.2fx %11.2f\n", littleMHz, r.theoreticalLimit,
+                r.heterogeneousSpeedup, r.homogeneousSpeedup,
+                r.heterogeneousSpeedup / r.homogeneousSpeedup);
+  }
+
+  std::printf("\nReading: with identical cores both tools tie; as the little\n"
+              "cores slow down, the heterogeneity-oblivious baseline collapses\n"
+              "(its uniform split waits for the little cores) while the\n"
+              "ILP-based heterogeneous tool keeps tracking the platform limit.\n");
+  return 0;
+}

@@ -1,0 +1,400 @@
+// Mini-C sources for the benchmark suite. Workloads synthesize their own
+// input data (fixed arithmetic patterns), so runs are deterministic and the
+// checksums returned from main() double as correctness probes.
+#include "hetpar/benchsuite/sources.hpp"
+
+namespace hetpar::benchsuite::sources {
+
+// ADPCM speech encoder, frame-based: each frame is encoded independently
+// with a frame-local predictor (standard frame-reset encoding), so the
+// frame loop is DOALL while the per-sample encoding inside a frame stays
+// strictly sequential (predictor adaptation).
+const char* kAdpcmEnc = R"(
+int input[16][256];
+int code[16][256];
+
+int main() {
+  for (int f = 0; f < 16; f = f + 1) {
+    for (int s = 0; s < 256; s = s + 1) {
+      input[f][s] = (f * 131 + s * 37) % 255 - 127;
+    }
+  }
+  for (int f = 0; f < 16; f = f + 1) {
+    int predicted = 0;
+    int step = 16;
+    for (int s = 0; s < 256; s = s + 1) {
+      int diff = input[f][s] - predicted;
+      int sign = 0;
+      if (diff < 0) { sign = 8; diff = -diff; }
+      int delta = 0;
+      if (diff >= step) { delta = 4; diff = diff - step; }
+      if (2 * diff >= step) { delta = delta + 2; diff = diff - step / 2; }
+      if (4 * diff >= step) { delta = delta + 1; }
+      code[f][s] = sign + delta;
+      int vpdiff = step / 8;
+      if (delta >= 4) { vpdiff = vpdiff + step; }
+      if (delta - 4 >= 2 || delta >= 2 && delta < 4) { vpdiff = vpdiff + step / 2; }
+      if (delta % 2 == 1) { vpdiff = vpdiff + step / 4; }
+      if (sign > 0) { predicted = predicted - vpdiff; } else { predicted = predicted + vpdiff; }
+      if (predicted > 127) { predicted = 127; }
+      if (predicted < -128) { predicted = -128; }
+      step = step + step / 4 + delta * 2;
+      if (step < 16) { step = 16; }
+      if (step > 1024) { step = 1024; }
+    }
+  }
+  int sum = 0;
+  for (int f = 0; f < 16; f = f + 1) {
+    for (int s = 0; s < 256; s = s + 1) {
+      sum = sum + code[f][s];
+    }
+  }
+  return sum;
+}
+)";
+
+// Boundary value problem (1-D heat equation, Jacobi relaxation): each sweep
+// reads one grid and writes the other, so both inner loops are DOALL; the
+// outer time loop carries the ping-pong dependence.
+const char* kBoundaryValue = R"(
+double grid[8194];
+double next[8194];
+
+int main() {
+  for (int i = 0; i < 8194; i = i + 1) {
+    grid[i] = 0.0;
+    next[i] = 0.0;
+  }
+  grid[0] = 100.0;
+  grid[8193] = -40.0;
+  next[0] = 100.0;
+  next[8193] = -40.0;
+  for (int t = 0; t < 6; t = t + 1) {
+    for (int i = 1; i < 8193; i = i + 1) {
+      next[i] = 0.5 * (grid[i - 1] + grid[i + 1]) + 0.01;
+    }
+    for (int i = 1; i < 8193; i = i + 1) {
+      grid[i] = next[i];
+    }
+  }
+  double acc = 0.0;
+  for (int i = 0; i < 8194; i = i + 1) {
+    acc = acc + grid[i];
+  }
+  int checksum = acc;
+  return checksum;
+}
+)";
+
+// Image compression: blockwise 1-D DCT (the separable kernel of JPEG-style
+// coders) plus quantization. Blocks are independent, the dominant
+// block/coefficient loops are DOALL -- the paper's best-performing shape.
+const char* kCompress = R"(
+double blocks[48][64];
+double coeff[48][64];
+double basis[64][64];
+int quant[48][64];
+
+int main() {
+  for (int u = 0; u < 64; u = u + 1) {
+    for (int k = 0; k < 64; k = k + 1) {
+      basis[u][k] = cos(3.14159265 / 64.0 * (k + 0.5) * u);
+    }
+  }
+  for (int b = 0; b < 48; b = b + 1) {
+    for (int k = 0; k < 64; k = k + 1) {
+      blocks[b][k] = (b * 7 + k * 3) % 61 - 30;
+    }
+  }
+  for (int b = 0; b < 48; b = b + 1) {
+    for (int u = 0; u < 64; u = u + 1) {
+      double acc = 0.0;
+      for (int k = 0; k < 64; k = k + 1) {
+        acc = acc + blocks[b][k] * basis[u][k];
+      }
+      coeff[b][u] = acc;
+    }
+  }
+  for (int b = 0; b < 48; b = b + 1) {
+    for (int u = 0; u < 64; u = u + 1) {
+      int q = coeff[b][u] / (1.0 + u);
+      quant[b][u] = q;
+    }
+  }
+  int sum = 0;
+  for (int b = 0; b < 48; b = b + 1) {
+    for (int u = 0; u < 64; u = u + 1) {
+      sum = sum + quant[b][u];
+    }
+  }
+  return sum;
+}
+)";
+
+// Sobel edge detection over a synthetic image: the row loop is DOALL (the
+// input image is read-only, each output row is written at its own index).
+const char* kEdgeDetect = R"(
+int image[96][96];
+int edges[96][96];
+
+int main() {
+  for (int i = 0; i < 96; i = i + 1) {
+    for (int j = 0; j < 96; j = j + 1) {
+      image[i][j] = (i * i + j * 3 + i * j) % 256;
+      edges[i][j] = 0;
+    }
+  }
+  for (int i = 1; i < 95; i = i + 1) {
+    for (int j = 1; j < 95; j = j + 1) {
+      int gx = image[i - 1][j + 1] + 2 * image[i][j + 1] + image[i + 1][j + 1]
+             - image[i - 1][j - 1] - 2 * image[i][j - 1] - image[i + 1][j - 1];
+      int gy = image[i + 1][j - 1] + 2 * image[i + 1][j] + image[i + 1][j + 1]
+             - image[i - 1][j - 1] - 2 * image[i - 1][j] - image[i - 1][j + 1];
+      int mag = abs(gx) + abs(gy);
+      if (mag > 255) { mag = 255; }
+      edges[i][j] = mag;
+    }
+  }
+  int sum = 0;
+  for (int i = 0; i < 96; i = i + 1) {
+    for (int j = 0; j < 96; j = j + 1) {
+      sum = sum + edges[i][j];
+    }
+  }
+  return sum;
+}
+)";
+
+// Filter bank: eight FIR filters with distinct coefficient sets applied to
+// one input stream. The bank loop is DOALL (8-way, coarse), and each bank's
+// sample loop is DOALL as well, giving the hierarchy a choice of levels.
+const char* kFilterbank = R"(
+double signal[288];
+double coeffs[8][32];
+double outputs[8][256];
+
+int main() {
+  for (int n = 0; n < 288; n = n + 1) {
+    signal[n] = sin(0.02 * n) + 0.3 * sin(0.11 * n);
+  }
+  for (int m = 0; m < 8; m = m + 1) {
+    for (int t = 0; t < 32; t = t + 1) {
+      coeffs[m][t] = cos(0.05 * (m + 1) * t) / 32.0;
+    }
+  }
+  for (int m = 0; m < 8; m = m + 1) {
+    for (int n = 0; n < 256; n = n + 1) {
+      double acc = 0.0;
+      for (int t = 0; t < 32; t = t + 1) {
+        acc = acc + coeffs[m][t] * signal[n + t];
+      }
+      outputs[m][n] = acc;
+    }
+  }
+  double total = 0.0;
+  for (int m = 0; m < 8; m = m + 1) {
+    for (int n = 0; n < 256; n = n + 1) {
+      total = total + outputs[m][n] * outputs[m][n];
+    }
+  }
+  int checksum = total * 1000.0;
+  return checksum;
+}
+)";
+
+// 256-tap FIR filter: every output sample only reads the (read-only) input
+// window, so the sample loop is perfectly DOALL.
+const char* kFir256 = R"(
+double x[768];
+double h[256];
+double y[512];
+
+int main() {
+  for (int n = 0; n < 768; n = n + 1) {
+    x[n] = sin(0.01 * n) * (1.0 + 0.001 * n);
+  }
+  for (int k = 0; k < 256; k = k + 1) {
+    h[k] = cos(0.007 * k) / 256.0;
+  }
+  for (int n = 0; n < 512; n = n + 1) {
+    double acc = 0.0;
+    for (int k = 0; k < 256; k = k + 1) {
+      acc = acc + h[k] * x[n + k];
+    }
+    y[n] = acc;
+  }
+  double total = 0.0;
+  for (int n = 0; n < 512; n = n + 1) {
+    total = total + y[n];
+  }
+  int checksum = total * 1000.0;
+  return checksum;
+}
+)";
+
+// 4th-order IIR (cascaded biquads) over eight independent channels.
+// Within a channel the recursion is strictly sequential; across channels
+// the work is DOALL with per-channel state arrays.
+const char* kIir4 = R"(
+double iirin[8][1024];
+double iirout[8][1024];
+double state[8][8];
+
+int main() {
+  for (int c = 0; c < 8; c = c + 1) {
+    for (int n = 0; n < 1024; n = n + 1) {
+      iirin[c][n] = sin(0.015 * n * (c + 1));
+    }
+    for (int k = 0; k < 8; k = k + 1) {
+      state[c][k] = 0.0;
+    }
+  }
+  for (int c = 0; c < 8; c = c + 1) {
+    for (int n = 0; n < 1024; n = n + 1) {
+      double v = iirin[c][n];
+      for (int s = 0; s < 4; s = s + 1) {
+        double w = v - 0.4 * state[c][2 * s] - 0.1 * state[c][2 * s + 1];
+        v = w + 0.6 * state[c][2 * s] + 0.3 * state[c][2 * s + 1];
+        state[c][2 * s + 1] = state[c][2 * s];
+        state[c][2 * s] = w;
+      }
+      iirout[c][n] = v;
+    }
+  }
+  double total = 0.0;
+  for (int c = 0; c < 8; c = c + 1) {
+    for (int n = 0; n < 1024; n = n + 1) {
+      total = total + iirout[c][n] * iirout[c][n];
+    }
+  }
+  int checksum = total * 100.0;
+  return checksum;
+}
+)";
+
+// 32nd-order normalized lattice filter, frame-based: each frame runs the
+// lattice recursion sequentially over its samples (stage state carried),
+// frames are independent. Only 8 coarse frames exist, so balancing options
+// are limited -- the paper singles latnrm out for exactly that reason.
+const char* kLatnrm32 = R"(
+double frames[8][512];
+double latout[8][512];
+double kcoef[32];
+double lstate[8][33];
+
+int main() {
+  for (int k = 0; k < 32; k = k + 1) {
+    kcoef[k] = 0.9 / (1.0 + k);
+  }
+  for (int f = 0; f < 8; f = f + 1) {
+    for (int n = 0; n < 512; n = n + 1) {
+      frames[f][n] = sin(0.02 * n + f);
+    }
+    for (int k = 0; k < 33; k = k + 1) {
+      lstate[f][k] = 0.0;
+    }
+  }
+  for (int f = 0; f < 8; f = f + 1) {
+    for (int n = 0; n < 512; n = n + 1) {
+      double fwd = frames[f][n];
+      for (int k = 0; k < 32; k = k + 1) {
+        double up = fwd - kcoef[k] * lstate[f][k];
+        lstate[f][k] = lstate[f][k] + kcoef[k] * up;
+        fwd = up;
+      }
+      latout[f][n] = fwd;
+    }
+  }
+  double total = 0.0;
+  for (int f = 0; f < 8; f = f + 1) {
+    for (int n = 0; n < 512; n = n + 1) {
+      total = total + latout[f][n] * latout[f][n];
+    }
+  }
+  int checksum = total * 100.0;
+  return checksum;
+}
+)";
+
+// Dense matrix multiply (the UTDSP "mult" kernel scaled up): the row loop
+// is DOALL and arithmetic-dominated -- the other best-performing shape.
+const char* kMult10 = R"(
+double A[40][40];
+double B[40][40];
+double Cm[40][40];
+
+int main() {
+  for (int i = 0; i < 40; i = i + 1) {
+    for (int j = 0; j < 40; j = j + 1) {
+      A[i][j] = (i * 3 + j * 7) % 23 * 0.5;
+      B[i][j] = (i * 5 + j * 2) % 19 * 0.25;
+    }
+  }
+  for (int i = 0; i < 40; i = i + 1) {
+    for (int j = 0; j < 40; j = j + 1) {
+      double acc = 0.0;
+      for (int k = 0; k < 40; k = k + 1) {
+        acc = acc + A[i][k] * B[k][j];
+      }
+      Cm[i][j] = acc;
+    }
+  }
+  double total = 0.0;
+  for (int i = 0; i < 40; i = i + 1) {
+    for (int j = 0; j < 40; j = j + 1) {
+      total = total + Cm[i][j];
+    }
+  }
+  int checksum = total;
+  return checksum;
+}
+)";
+
+// Spectral analysis (periodogram): window, naive DFT, power spectrum, and a
+// recursive smoothing pass. The smoothing stage is carried and the stages
+// exchange whole arrays, giving this kernel the "higher communication load"
+// the paper attributes to spectral.
+const char* kSpectral = R"(
+double sig[256];
+double windowed[256];
+double costab[128][256];
+double sintab[128][256];
+double power[128];
+double smooth[128];
+
+int main() {
+  for (int n = 0; n < 256; n = n + 1) {
+    sig[n] = sin(0.05 * n) + 0.5 * cos(0.13 * n) + 0.1 * sin(0.31 * n);
+  }
+  for (int k = 0; k < 128; k = k + 1) {
+    for (int n = 0; n < 256; n = n + 1) {
+      costab[k][n] = cos(0.0245436926 * k * n);
+      sintab[k][n] = sin(0.0245436926 * k * n);
+    }
+  }
+  for (int n = 0; n < 256; n = n + 1) {
+    windowed[n] = sig[n] * (0.54 - 0.46 * cos(0.0245436926 * n));
+  }
+  for (int k = 0; k < 128; k = k + 1) {
+    double re = 0.0;
+    double im = 0.0;
+    for (int n = 0; n < 256; n = n + 1) {
+      re = re + windowed[n] * costab[k][n];
+      im = im - windowed[n] * sintab[k][n];
+    }
+    power[k] = re * re + im * im;
+  }
+  smooth[0] = power[0];
+  for (int k = 1; k < 128; k = k + 1) {
+    smooth[k] = 0.7 * power[k] + 0.3 * smooth[k - 1];
+  }
+  double total = 0.0;
+  for (int k = 0; k < 128; k = k + 1) {
+    total = total + smooth[k];
+  }
+  int checksum = total;
+  return checksum;
+}
+)";
+
+}  // namespace hetpar::benchsuite::sources

@@ -1,0 +1,17 @@
+// Raw mini-C sources for the benchmark suite (see suite.hpp).
+#pragma once
+
+namespace hetpar::benchsuite::sources {
+
+extern const char* kAdpcmEnc;
+extern const char* kBoundaryValue;
+extern const char* kCompress;
+extern const char* kEdgeDetect;
+extern const char* kFilterbank;
+extern const char* kFir256;
+extern const char* kIir4;
+extern const char* kLatnrm32;
+extern const char* kMult10;
+extern const char* kSpectral;
+
+}  // namespace hetpar::benchsuite::sources

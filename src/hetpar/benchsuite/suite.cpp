@@ -1,0 +1,32 @@
+#include "hetpar/benchsuite/suite.hpp"
+
+#include "hetpar/benchsuite/sources.hpp"
+#include "hetpar/support/error.hpp"
+
+namespace hetpar::benchsuite {
+
+const std::vector<Benchmark>& suite() {
+  static const std::vector<Benchmark> kSuite = {
+      {"adpcm_enc", "frame-based ADPCM speech encoder", sources::kAdpcmEnc},
+      {"bound_value", "1-D boundary value problem (Jacobi relaxation)",
+       sources::kBoundaryValue},
+      {"compress", "blockwise DCT image compression", sources::kCompress},
+      {"edge_detect", "Sobel edge detection", sources::kEdgeDetect},
+      {"filterbank", "8-band FIR filter bank", sources::kFilterbank},
+      {"fir_256", "256-tap FIR filter", sources::kFir256},
+      {"iir_4", "4th-order IIR over independent channels", sources::kIir4},
+      {"latnrm_32", "32nd-order normalized lattice filter (frame-based)",
+       sources::kLatnrm32},
+      {"mult_10", "dense matrix multiplication", sources::kMult10},
+      {"spectral", "spectral analysis / periodogram", sources::kSpectral},
+  };
+  return kSuite;
+}
+
+const Benchmark& find(const std::string& name) {
+  for (const Benchmark& b : suite())
+    if (b.name == name) return b;
+  throw Error("unknown benchmark '" + name + "'");
+}
+
+}  // namespace hetpar::benchsuite

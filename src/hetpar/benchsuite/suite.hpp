@@ -1,0 +1,30 @@
+// The evaluation workloads (paper Section VI): mini-C re-creations of the
+// UTDSP benchmarks the paper parallelizes, plus the boundary-value problem
+// from the physical application domain.
+//
+// Each kernel keeps the structural skeleton of its namesake — the loop
+// shapes, data layouts, and dependence patterns that decide how much
+// task/loop parallelism exists — so the HTGs, ILP sizes, and achievable
+// speedups match the paper's qualitative pattern. Sizes are scaled so the
+// abstract-op totals profile in well under a second while keeping the
+// task-creation overhead small relative to real work.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hetpar::benchsuite {
+
+struct Benchmark {
+  std::string name;         ///< Table I row name
+  std::string description;  ///< one-line domain description
+  const char* source;       ///< mini-C program
+};
+
+/// All ten benchmarks in the paper's Table I order.
+const std::vector<Benchmark>& suite();
+
+/// Lookup by name; throws hetpar::Error for unknown names.
+const Benchmark& find(const std::string& name);
+
+}  // namespace hetpar::benchsuite

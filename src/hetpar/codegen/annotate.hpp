@@ -1,0 +1,31 @@
+// Source-to-source annotation output (paper Section V).
+//
+// The paper's tool "annotates the source code of the application to describe
+// the extracted parallelism" as "an extension of OpenMP which enables
+// heterogeneous mapping". This emitter re-prints the mini-C program with
+// `#pragma hetpar ...` lines in front of every parallelized region and every
+// statement that moves into an extracted task:
+//
+//   #pragma hetpar parallel tasks(3) classes(arm_100, arm_500, arm_500)
+//   #pragma hetpar task(1)
+//   #pragma hetpar parallel_for iterations(12, 48, 48) classes(...)
+//
+// Designers can diff this against the input (source-to-source transparency).
+#pragma once
+
+#include <string>
+
+#include "hetpar/frontend/ast.hpp"
+#include "hetpar/htg/graph.hpp"
+#include "hetpar/parallel/solution.hpp"
+#include "hetpar/platform/platform.hpp"
+
+namespace hetpar::codegen {
+
+/// Renders the whole program with parallelization pragmas for the solution
+/// tree rooted at `rootChoice`.
+std::string annotateSource(const frontend::Program& program, const htg::Graph& graph,
+                           const parallel::SolutionTable& table,
+                           parallel::SolutionRef rootChoice, const platform::Platform& pf);
+
+}  // namespace hetpar::codegen

@@ -1,0 +1,19 @@
+// ATOMIUM/MPA-style parallel specification (paper Section V, Figure 6).
+//
+// The MPA tools consume "a parallel specification which maps labeled
+// statements of the application to tasks". We emit the equivalent: one
+// `parsection` per parallelized region listing, per task, the statement
+// labels (line-tagged) that move into it.
+#pragma once
+
+#include <string>
+
+#include "hetpar/htg/graph.hpp"
+#include "hetpar/parallel/solution.hpp"
+
+namespace hetpar::codegen {
+
+std::string mpaSpec(const htg::Graph& graph, const parallel::SolutionTable& table,
+                    parallel::SolutionRef rootChoice);
+
+}  // namespace hetpar::codegen

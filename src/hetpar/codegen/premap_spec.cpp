@@ -1,0 +1,47 @@
+#include "hetpar/codegen/premap_spec.hpp"
+
+#include <sstream>
+
+#include "hetpar/support/strings.hpp"
+
+namespace hetpar::codegen {
+
+using parallel::SolutionCandidate;
+using parallel::SolutionKind;
+using parallel::SolutionRef;
+
+namespace {
+
+void emit(std::ostringstream& os, const htg::Graph& graph,
+          const parallel::SolutionTable& table, const platform::Platform& pf, htg::NodeId id,
+          const SolutionCandidate& cand, const std::string& path) {
+  const htg::Node& node = graph.node(id);
+  if (cand.kind == SolutionKind::Sequential) return;
+  for (int t = 0; t < cand.numTasks(); ++t) {
+    os << "map " << path << "/T" << t << " -> class "
+       << pf.classAt(cand.taskClass[static_cast<std::size_t>(t)]).name;
+    if (node.stmt != nullptr) os << "   # line " << node.stmt->loc.line;
+    os << "\n";
+  }
+  if (cand.kind == SolutionKind::TaskParallel) {
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+      const SolutionRef ref = cand.childChoice[i];
+      if (!ref.valid()) continue;
+      emit(os, graph, table, pf, ref.node, table.at(ref.node).at(ref.index),
+           strings::format("%s/T%d", path.c_str(), cand.childTask[i]));
+    }
+  }
+}
+
+}  // namespace
+
+std::string premapSpec(const htg::Graph& graph, const parallel::SolutionTable& table,
+                       SolutionRef rootChoice, const platform::Platform& pf) {
+  std::ostringstream os;
+  os << "# hetpar pre-mapping specification for platform " << pf.summary() << "\n";
+  emit(os, graph, table, pf, rootChoice.node,
+       table.at(rootChoice.node).at(rootChoice.index), "main");
+  return os.str();
+}
+
+}  // namespace hetpar::codegen

@@ -1,0 +1,18 @@
+// Pre-mapping specification (paper Section V): "contains information about
+// the extracted task-to-processor class mapping to ensure that tasks are
+// mapped to processing units for which they are optimized". Consumed by the
+// mapping stage (our flattener honors it when classAwareAllocation is on).
+#pragma once
+
+#include <string>
+
+#include "hetpar/htg/graph.hpp"
+#include "hetpar/parallel/solution.hpp"
+#include "hetpar/platform/platform.hpp"
+
+namespace hetpar::codegen {
+
+std::string premapSpec(const htg::Graph& graph, const parallel::SolutionTable& table,
+                       parallel::SolutionRef rootChoice, const platform::Platform& pf);
+
+}  // namespace hetpar::codegen

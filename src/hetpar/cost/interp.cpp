@@ -1,0 +1,451 @@
+#include "hetpar/cost/interp.hpp"
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <variant>
+
+#include "hetpar/support/error.hpp"
+#include "hetpar/support/strings.hpp"
+
+namespace hetpar::cost {
+
+namespace {
+
+using namespace frontend;
+
+/// Scalar runtime value. Integers and floats are kept separate to preserve
+/// C's integer division / modulo semantics.
+struct Value {
+  bool isFloat = false;
+  long long i = 0;
+  double f = 0.0;
+
+  static Value ofInt(long long v) { return {false, v, 0.0}; }
+  static Value ofFloat(double v) { return {true, 0, v}; }
+  double asDouble() const { return isFloat ? f : double(i); }
+  long long asInt() const { return isFloat ? (long long)f : i; }
+  bool truthy() const { return isFloat ? f != 0.0 : i != 0; }
+};
+
+/// Array object; shared between caller and callee frames (C decay-to-pointer
+/// semantics).
+struct ArrayObj {
+  ScalarType elem = ScalarType::Int;
+  std::vector<long long> idata;
+  std::vector<double> fdata;
+  std::vector<int> dims;
+
+  explicit ArrayObj(const Type& t) : elem(t.scalar), dims(t.dims) {
+    const std::size_t n = static_cast<std::size_t>(t.elementCount());
+    if (elem == ScalarType::Int) idata.assign(n, 0);
+    else fdata.assign(n, 0.0);
+  }
+
+  std::size_t flatten(const std::vector<long long>& idx) const {
+    HETPAR_CHECK(idx.size() == dims.size());
+    std::size_t flat = 0;
+    for (std::size_t k = 0; k < dims.size(); ++k) {
+      const long long i = idx[k];
+      require(i >= 0 && i < dims[k],
+              hetpar::strings::format("array index %lld out of bounds [0,%d)", i, dims[k]));
+      flat = flat * static_cast<std::size_t>(dims[k]) + static_cast<std::size_t>(i);
+    }
+    return flat;
+  }
+
+  Value get(const std::vector<long long>& idx) const {
+    const std::size_t k = flatten(idx);
+    return elem == ScalarType::Int ? Value::ofInt(idata[k]) : Value::ofFloat(fdata[k]);
+  }
+
+  void set(const std::vector<long long>& idx, const Value& v) {
+    const std::size_t k = flatten(idx);
+    if (elem == ScalarType::Int) idata[k] = v.asInt();
+    else fdata[k] = v.asDouble();
+  }
+};
+
+using Slot = std::variant<Value, std::shared_ptr<ArrayObj>>;
+using Frame = std::map<std::string, Slot>;
+
+struct ExecResult {
+  bool returned = false;
+  Value value;
+};
+
+class Interp {
+ public:
+  Interp(const Program& program, const frontend::SemaResult& sema, const OpCosts& costs,
+         const InterpLimits& limits)
+      : program_(program), costs_(costs), limits_(limits) {
+    profile_.stmts.resize(static_cast<std::size_t>(sema.numStatements));
+  }
+
+  ProgramProfile run() {
+    // Globals live in their own frame at the bottom of the lookup chain.
+    for (const auto& g : program_.globals) {
+      countEnter(*g);
+      execDecl(static_cast<const DeclStmt&>(*g), globals_, nullptr);
+    }
+    Function& main = program_.entry();
+    require(main.params.empty(), "main() must not take parameters");
+    Frame frame;
+    ExecResult r = execBody(main.body, frame);
+    profile_.exitValue = r.returned ? r.value.asInt() : 0;
+    profile_.totalOps = totalOps_;
+    return std::move(profile_);
+  }
+
+ private:
+  // --- op accounting ---------------------------------------------------------
+  void charge(double ops, OpKind kind = OpKind::IntAlu) {
+    totalOps_ += ops;
+    require(totalOps_ <= double(limits_.maxSteps), "interpreter exceeded its step budget");
+    for (int id : attribution_) {
+      StmtProfile& sp = profile_.stmts[static_cast<std::size_t>(id)];
+      sp.ops += ops;
+      sp.mix.of(kind) += ops;
+    }
+  }
+
+  void countEnter(const Stmt& s) {
+    ++profile_.stmts[static_cast<std::size_t>(s.id)].execCount;
+  }
+
+  /// RAII: ops charged while alive are attributed to `stmt` (plus any outer
+  /// attribution targets along the call chain).
+  class Attribute {
+   public:
+    Attribute(Interp& in, const Stmt& stmt) : in_(in) {
+      in_.attribution_.push_back(stmt.id);
+    }
+    Attribute(const Attribute&) = delete;
+    Attribute& operator=(const Attribute&) = delete;
+    ~Attribute() { in_.attribution_.pop_back(); }
+
+   private:
+    Interp& in_;
+  };
+
+  // --- variable access ----------------------------------------------------------
+  Slot* find(Frame& frame, const std::string& name) {
+    auto it = frame.find(name);
+    if (it != frame.end()) return &it->second;
+    auto git = globals_.find(name);
+    if (git != globals_.end()) return &git->second;
+    return nullptr;
+  }
+
+  Value loadScalar(Frame& frame, const std::string& name) {
+    Slot* s = find(frame, name);
+    require(s != nullptr, "runtime: unknown variable '" + name + "'");
+    require(std::holds_alternative<Value>(*s), "runtime: '" + name + "' is not scalar");
+    charge(costs_.load, OpKind::Memory);
+    return std::get<Value>(*s);
+  }
+
+  std::shared_ptr<ArrayObj> loadArray(Frame& frame, const std::string& name) {
+    Slot* s = find(frame, name);
+    require(s != nullptr, "runtime: unknown variable '" + name + "'");
+    require(std::holds_alternative<std::shared_ptr<ArrayObj>>(*s),
+            "runtime: '" + name + "' is not an array");
+    return std::get<std::shared_ptr<ArrayObj>>(*s);
+  }
+
+  // --- expressions -----------------------------------------------------------------
+  Value eval(const Expr& expr, Frame& frame) {
+    switch (expr.kind) {
+      case ExprKind::IntLit:
+        return Value::ofInt(static_cast<const IntLit&>(expr).value);
+      case ExprKind::FloatLit:
+        return Value::ofFloat(static_cast<const FloatLit&>(expr).value);
+      case ExprKind::VarRef:
+        return loadScalar(frame, static_cast<const VarRef&>(expr).name);
+      case ExprKind::Index: {
+        const auto& e = static_cast<const IndexExpr&>(expr);
+        auto arr = loadArray(frame, e.name);
+        std::vector<long long> idx;
+        for (const auto& i : e.indices) {
+          idx.push_back(eval(*i, frame).asInt());
+          charge(costs_.indexExtra, OpKind::Memory);
+        }
+        charge(costs_.load, OpKind::Memory);
+        return arr->get(idx);
+      }
+      case ExprKind::Unary: {
+        const auto& e = static_cast<const UnaryExpr&>(expr);
+        const Value v = eval(*e.operand, frame);
+        if (e.op == UnaryOp::Neg) {
+          charge(v.isFloat ? costs_.floatArith : costs_.intArith,
+               v.isFloat ? OpKind::FloatAlu : OpKind::IntAlu);
+          return v.isFloat ? Value::ofFloat(-v.f) : Value::ofInt(-v.i);
+        }
+        charge(costs_.logic, OpKind::IntAlu);
+        return Value::ofInt(v.truthy() ? 0 : 1);
+      }
+      case ExprKind::Binary:
+        return evalBinary(static_cast<const BinaryExpr&>(expr), frame);
+      case ExprKind::Call:
+        return evalCall(static_cast<const CallExpr&>(expr), frame);
+    }
+    throw InternalError("interp: unknown expression kind");
+  }
+
+  Value evalBinary(const BinaryExpr& e, Frame& frame) {
+    // Short-circuit logic first.
+    if (e.op == BinaryOp::And || e.op == BinaryOp::Or) {
+      const Value l = eval(*e.lhs, frame);
+      charge(costs_.logic, OpKind::IntAlu);
+      if (e.op == BinaryOp::And && !l.truthy()) return Value::ofInt(0);
+      if (e.op == BinaryOp::Or && l.truthy()) return Value::ofInt(1);
+      const Value r = eval(*e.rhs, frame);
+      return Value::ofInt(r.truthy() ? 1 : 0);
+    }
+    const Value l = eval(*e.lhs, frame);
+    const Value r = eval(*e.rhs, frame);
+    const bool fl = l.isFloat || r.isFloat;
+    switch (e.op) {
+      case BinaryOp::Add:
+        charge(fl ? costs_.floatArith : costs_.intArith, fl ? OpKind::FloatAlu : OpKind::IntAlu);
+        return fl ? Value::ofFloat(l.asDouble() + r.asDouble()) : Value::ofInt(l.i + r.i);
+      case BinaryOp::Sub:
+        charge(fl ? costs_.floatArith : costs_.intArith, fl ? OpKind::FloatAlu : OpKind::IntAlu);
+        return fl ? Value::ofFloat(l.asDouble() - r.asDouble()) : Value::ofInt(l.i - r.i);
+      case BinaryOp::Mul:
+        charge(fl ? costs_.floatMul : costs_.intMul, fl ? OpKind::FloatAlu : OpKind::IntAlu);
+        return fl ? Value::ofFloat(l.asDouble() * r.asDouble()) : Value::ofInt(l.i * r.i);
+      case BinaryOp::Div:
+        charge(fl ? costs_.floatDiv : costs_.intDiv, fl ? OpKind::FloatAlu : OpKind::IntAlu);
+        if (fl) {
+          require(r.asDouble() != 0.0, "runtime: division by zero");
+          return Value::ofFloat(l.asDouble() / r.asDouble());
+        }
+        require(r.i != 0, "runtime: division by zero");
+        return Value::ofInt(l.i / r.i);
+      case BinaryOp::Mod:
+        charge(costs_.intDiv, OpKind::IntAlu);
+        require(!fl, "runtime: % requires integers");
+        require(r.i != 0, "runtime: modulo by zero");
+        return Value::ofInt(l.i % r.i);
+      case BinaryOp::Lt:
+        charge(costs_.compare, OpKind::IntAlu);
+        return Value::ofInt(l.asDouble() < r.asDouble() ? 1 : 0);
+      case BinaryOp::Le:
+        charge(costs_.compare, OpKind::IntAlu);
+        return Value::ofInt(l.asDouble() <= r.asDouble() ? 1 : 0);
+      case BinaryOp::Gt:
+        charge(costs_.compare, OpKind::IntAlu);
+        return Value::ofInt(l.asDouble() > r.asDouble() ? 1 : 0);
+      case BinaryOp::Ge:
+        charge(costs_.compare, OpKind::IntAlu);
+        return Value::ofInt(l.asDouble() >= r.asDouble() ? 1 : 0);
+      case BinaryOp::Eq:
+        charge(costs_.compare, OpKind::IntAlu);
+        return Value::ofInt(l.asDouble() == r.asDouble() ? 1 : 0);
+      case BinaryOp::Ne:
+        charge(costs_.compare, OpKind::IntAlu);
+        return Value::ofInt(l.asDouble() != r.asDouble() ? 1 : 0);
+      default:
+        throw InternalError("interp: unexpected binary op");
+    }
+  }
+
+  Value evalCall(const CallExpr& e, Frame& frame) {
+    if (isBuiltinFunction(e.callee)) {
+      const Value a = eval(*e.args[0], frame);
+      charge(costs_.builtinMath, OpKind::FloatAlu);
+      const double x = a.asDouble();
+      if (e.callee == "sqrt") {
+        require(x >= 0.0, "runtime: sqrt of negative value");
+        return Value::ofFloat(std::sqrt(x));
+      }
+      if (e.callee == "fabs") return Value::ofFloat(std::fabs(x));
+      if (e.callee == "sin") return Value::ofFloat(std::sin(x));
+      if (e.callee == "cos") return Value::ofFloat(std::cos(x));
+      if (e.callee == "exp") return Value::ofFloat(std::exp(x));
+      if (e.callee == "log") {
+        require(x > 0.0, "runtime: log of non-positive value");
+        return Value::ofFloat(std::log(x));
+      }
+      if (e.callee == "abs") return Value::ofInt(std::llabs(a.asInt()));
+      throw InternalError("interp: unknown builtin");
+    }
+
+    const Function* callee = program_.findFunction(e.callee);
+    HETPAR_CHECK(callee != nullptr);
+    charge(costs_.callOverhead, OpKind::Control);
+
+    // Record the call site against the innermost attributed statement.
+    if (!attribution_.empty()) {
+      ++profile_.callSiteCalls[{attribution_.back(), e.callee}];
+    }
+    ++profile_.functionCalls[e.callee];
+
+    Frame calleeFrame;
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      const Param& p = callee->params[i];
+      if (p.type.isArray()) {
+        const auto& ref = static_cast<const VarRef&>(*e.args[i]);
+        calleeFrame.emplace(p.name, loadArray(frame, ref.name));
+      } else {
+        calleeFrame.emplace(p.name, eval(*e.args[i], frame));
+      }
+    }
+    ExecResult r = execBody(callee->body, calleeFrame);
+    return r.returned ? r.value : Value::ofInt(0);
+  }
+
+  // --- statements ------------------------------------------------------------------
+  ExecResult execBody(const std::vector<StmtPtr>& body, Frame& frame) {
+    for (const auto& s : body) {
+      ExecResult r = exec(*s, frame);
+      if (r.returned) return r;
+    }
+    return {};
+  }
+
+  void execDecl(const DeclStmt& s, Frame& frame, Frame* outer) {
+    if (s.type.isArray()) {
+      frame.insert_or_assign(s.name, std::make_shared<ArrayObj>(s.type));
+    } else {
+      Value v = s.init ? eval(*s.init, outer ? *outer : frame) : Value::ofInt(0);
+      if (s.type.scalar == ScalarType::Int) v = Value::ofInt(v.asInt());
+      else v = Value::ofFloat(v.asDouble());
+      charge(costs_.store, OpKind::Memory);
+      frame.insert_or_assign(s.name, v);
+    }
+  }
+
+  ExecResult exec(const Stmt& stmt, Frame& frame) {
+    switch (stmt.kind) {
+      case StmtKind::Decl: {
+        countEnter(stmt);
+        Attribute attr(*this, stmt);
+        execDecl(static_cast<const DeclStmt&>(stmt), frame, nullptr);
+        return {};
+      }
+      case StmtKind::Assign: {
+        countEnter(stmt);
+        Attribute attr(*this, stmt);
+        const auto& s = static_cast<const AssignStmt&>(stmt);
+        if (s.indices.empty()) {
+          Slot* slot = find(frame, s.target);
+          require(slot != nullptr, "runtime: unknown variable '" + s.target + "'");
+          Value v = eval(*s.value, frame);
+          // Preserve the declared scalar kind of the target.
+          if (std::holds_alternative<Value>(*slot) && !std::get<Value>(*slot).isFloat)
+            v = Value::ofInt(v.asInt());
+          else
+            v = Value::ofFloat(v.asDouble());
+          charge(costs_.store, OpKind::Memory);
+          *slot = v;
+        } else {
+          auto arr = loadArray(frame, s.target);
+          std::vector<long long> idx;
+          for (const auto& i : s.indices) {
+            idx.push_back(eval(*i, frame).asInt());
+            charge(costs_.indexExtra, OpKind::Memory);
+          }
+          const Value v = eval(*s.value, frame);
+          charge(costs_.store, OpKind::Memory);
+          arr->set(idx, v);
+        }
+        return {};
+      }
+      case StmtKind::If: {
+        countEnter(stmt);
+        const auto& s = static_cast<const IfStmt&>(stmt);
+        bool taken;
+        {
+          Attribute attr(*this, stmt);
+          taken = eval(*s.cond, frame).truthy();
+          charge(costs_.branch, OpKind::Control);
+        }
+        return execBody(taken ? s.thenBody : s.elseBody, frame);
+      }
+      case StmtKind::For: {
+        countEnter(stmt);
+        const auto& s = static_cast<const ForStmt&>(stmt);
+        {
+          Attribute attr(*this, stmt);
+          if (s.init) {
+            if (s.init->kind == StmtKind::Decl)
+              execDecl(static_cast<const DeclStmt&>(*s.init), frame, nullptr);
+            else
+              exec(*s.init, frame);
+          }
+        }
+        while (true) {
+          bool cont;
+          {
+            Attribute attr(*this, stmt);
+            cont = !s.cond || eval(*s.cond, frame).truthy();
+            charge(costs_.branch, OpKind::Control);
+          }
+          if (!cont) break;
+          ExecResult r = execBody(s.body, frame);
+          if (r.returned) return r;
+          if (s.step) {
+            Attribute attr(*this, stmt);
+            exec(*s.step, frame);
+          }
+        }
+        return {};
+      }
+      case StmtKind::While: {
+        countEnter(stmt);
+        const auto& s = static_cast<const WhileStmt&>(stmt);
+        while (true) {
+          bool cont;
+          {
+            Attribute attr(*this, stmt);
+            cont = eval(*s.cond, frame).truthy();
+            charge(costs_.branch, OpKind::Control);
+          }
+          if (!cont) break;
+          ExecResult r = execBody(s.body, frame);
+          if (r.returned) return r;
+        }
+        return {};
+      }
+      case StmtKind::Return: {
+        countEnter(stmt);
+        Attribute attr(*this, stmt);
+        const auto& s = static_cast<const ReturnStmt&>(stmt);
+        ExecResult r;
+        r.returned = true;
+        if (s.value) r.value = eval(*s.value, frame);
+        return r;
+      }
+      case StmtKind::Expr: {
+        countEnter(stmt);
+        Attribute attr(*this, stmt);
+        eval(*static_cast<const ExprStmt&>(stmt).expr, frame);
+        return {};
+      }
+      case StmtKind::Block: {
+        countEnter(stmt);
+        return execBody(static_cast<const BlockStmt&>(stmt).body, frame);
+      }
+    }
+    throw InternalError("interp: unknown statement kind");
+  }
+
+  const Program& program_;
+  const OpCosts& costs_;
+  const InterpLimits& limits_;
+  Frame globals_;
+  std::vector<int> attribution_;
+  double totalOps_ = 0.0;
+  ProgramProfile profile_;
+};
+
+}  // namespace
+
+ProgramProfile interpret(const frontend::Program& program, const frontend::SemaResult& sema,
+                         const OpCosts& costs, const InterpLimits& limits) {
+  return Interp(program, sema, costs, limits).run();
+}
+
+}  // namespace hetpar::cost

@@ -1,0 +1,46 @@
+// Tree-walking interpreter and profiler for mini-C.
+//
+// Executes a program starting at main(), with C semantics for the supported
+// subset (arrays passed by reference, scalars by value, integer division,
+// short-circuit logic). While executing it counts abstract operations per
+// statement (see OpCosts) to produce the ProgramProfile that drives the
+// high-level timing model.
+#pragma once
+
+#include "hetpar/cost/profile.hpp"
+#include "hetpar/frontend/ast.hpp"
+#include "hetpar/frontend/sema.hpp"
+
+namespace hetpar::cost {
+
+/// Abstract operation costs (in "ops", i.e. cycles on a 1.0-CPI core).
+/// Chosen to reflect typical embedded RISC latencies; the evaluation's
+/// heterogeneity comes from per-class frequency, not from this table.
+struct OpCosts {
+  double intArith = 1.0;
+  double intMul = 3.0;
+  double intDiv = 10.0;
+  double floatArith = 2.0;
+  double floatMul = 4.0;
+  double floatDiv = 15.0;
+  double compare = 1.0;
+  double logic = 1.0;
+  double load = 2.0;
+  double store = 2.0;
+  double indexExtra = 1.0;  ///< address computation per subscript
+  double builtinMath = 40.0;
+  double callOverhead = 15.0;
+  double branch = 1.0;
+};
+
+struct InterpLimits {
+  long long maxSteps = 200'000'000;  ///< abstract op budget before aborting
+};
+
+/// Runs `program` (already analyzed by sema) and returns its profile.
+/// Throws hetpar::Error if the program exceeds the step budget, divides by
+/// zero, or indexes out of bounds.
+ProgramProfile interpret(const frontend::Program& program, const frontend::SemaResult& sema,
+                         const OpCosts& costs = {}, const InterpLimits& limits = {});
+
+}  // namespace hetpar::cost

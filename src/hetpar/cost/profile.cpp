@@ -1,0 +1,13 @@
+#include "hetpar/cost/profile.hpp"
+
+namespace hetpar::cost {
+
+double ProgramProfile::callShare(int callerStmtId, const std::string& callee) const {
+  auto total = functionCalls.find(callee);
+  if (total == functionCalls.end() || total->second == 0) return 0.0;
+  auto site = callSiteCalls.find({callerStmtId, callee});
+  if (site == callSiteCalls.end()) return 0.0;
+  return static_cast<double>(site->second) / static_cast<double>(total->second);
+}
+
+}  // namespace hetpar::cost

@@ -1,0 +1,91 @@
+// Profile data produced by interpreting a mini-C program.
+//
+// The paper extracts per-statement execution costs "by target platform
+// simulation ... once per processor class". Our equivalent: the interpreter
+// executes the program once, counting abstract operations ("ops") per
+// statement; the per-class cost of a statement is then ops scaled by the
+// class's op throughput (hetpar/cost/timing.hpp). Ops are attributed
+// *inclusively* through call chains: a statement containing a call carries
+// the callee's work, which is exactly what a task executing that statement
+// would have to do.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hetpar::cost {
+
+/// Operation categories. Same-ISA heterogeneity only scales the total with
+/// frequency, but cross-ISA platforms (paper Section VI: the approach
+/// "would also perform well for different instruction sets ... since it
+/// uses different execution costs for each statement") weight categories
+/// differently per class (platform::ProcessorClass::kindFactor).
+enum class OpKind : int { IntAlu = 0, FloatAlu = 1, Memory = 2, Control = 3 };
+constexpr int kNumOpKinds = 4;
+
+/// Abstract operations broken down by category; the scalar "ops" used all
+/// over hetpar is the total of this vector.
+struct OpMix {
+  double kind[kNumOpKinds] = {0.0, 0.0, 0.0, 0.0};
+
+  double total() const {
+    double t = 0.0;
+    for (double k : kind) t += k;
+    return t;
+  }
+  double& of(OpKind k) { return kind[static_cast<int>(k)]; }
+  double of(OpKind k) const { return kind[static_cast<int>(k)]; }
+
+  OpMix& operator+=(const OpMix& rhs) {
+    for (int i = 0; i < kNumOpKinds; ++i) kind[i] += rhs.kind[i];
+    return *this;
+  }
+  OpMix operator*(double f) const {
+    OpMix out = *this;
+    for (double& k : out.kind) k *= f;
+    return out;
+  }
+  /// Per-kind max(0, a - b): used when deriving header costs from
+  /// inclusive profiles.
+  OpMix minusClamped(const OpMix& rhs) const {
+    OpMix out;
+    for (int i = 0; i < kNumOpKinds; ++i)
+      out.kind[i] = kind[i] > rhs.kind[i] ? kind[i] - rhs.kind[i] : 0.0;
+    return out;
+  }
+};
+
+struct StmtProfile {
+  long long execCount = 0;  ///< times the statement was executed/entered
+  double ops = 0.0;         ///< total abstract operations, inclusive of calls
+  OpMix mix;                ///< the same operations, by category
+
+  double opsPerExec() const { return execCount > 0 ? ops / double(execCount) : 0.0; }
+  OpMix mixPerExec() const {
+    return execCount > 0 ? mix * (1.0 / double(execCount)) : OpMix{};
+  }
+};
+
+struct ProgramProfile {
+  /// Indexed by statement id (sema-assigned).
+  std::vector<StmtProfile> stmts;
+  /// (caller statement id, callee name) -> number of calls from that site.
+  std::map<std::pair<int, std::string>, long long> callSiteCalls;
+  /// callee name -> total invocations.
+  std::map<std::string, long long> functionCalls;
+  /// Value returned by main().
+  long long exitValue = 0;
+  /// Total abstract operations executed by the program (exclusive count;
+  /// call attribution does not double count here).
+  double totalOps = 0.0;
+
+  const StmtProfile& of(int stmtId) const { return stmts.at(static_cast<std::size_t>(stmtId)); }
+
+  /// Fraction of all calls to `callee` made from `callerStmtId` (1.0 when
+  /// the function has a single call site). Used to split profile counts
+  /// across call-site HTG subtrees.
+  double callShare(int callerStmtId, const std::string& callee) const;
+};
+
+}  // namespace hetpar::cost

@@ -1,0 +1,5 @@
+#include "hetpar/cost/timing.hpp"
+
+// TimingModel is header-only today; this translation unit anchors the
+// library target and hosts future model variants (e.g. per-class CPI tables
+// for cross-ISA platforms).

@@ -1,0 +1,163 @@
+#include "hetpar/frontend/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+#include "hetpar/support/error.hpp"
+#include "hetpar/support/strings.hpp"
+
+namespace hetpar::frontend {
+
+namespace {
+
+bool isKeywordWord(const std::string& word) {
+  static const std::array<const char*, 9> kKeywords = {"int",   "float", "double",
+                                                       "void",  "if",    "else",
+                                                       "for",   "while", "return"};
+  for (const char* k : kKeywords)
+    if (word == k) return true;
+  return false;
+}
+
+// Multi-character punctuation, longest-match-first.
+const char* kPunct2[] = {"<=", ">=", "==", "!=", "&&", "||", "++", "--",
+                         "+=", "-=", "*=", "/="};
+const char kPunct1[] = "+-*/%<>=!()[]{},;";
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+
+  auto loc = [&] { return SourceLoc{line, column}; };
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < source.size(); ++k, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '*') {
+      const SourceLoc start = loc();
+      advance(2);
+      while (i + 1 < source.size() && !(source[i] == '*' && source[i + 1] == '/')) advance(1);
+      require<ParseError>(i + 1 < source.size(),
+                          strings::format("unterminated comment at line %d", start.line));
+      advance(2);
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      Token t;
+      t.loc = loc();
+      std::size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) || source[i] == '_'))
+        advance(1);
+      t.text = std::string(source.substr(start, i - start));
+      t.kind = isKeywordWord(t.text) ? TokenKind::Keyword : TokenKind::Identifier;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Numeric literals.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < source.size() &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      Token t;
+      t.loc = loc();
+      std::size_t start = i;
+      bool isFloat = false;
+      while (i < source.size()) {
+        const char d = source[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          advance(1);
+        } else if (d == '.' && !isFloat) {
+          isFloat = true;
+          advance(1);
+        } else if ((d == 'e' || d == 'E') && i + 1 < source.size() &&
+                   (std::isdigit(static_cast<unsigned char>(source[i + 1])) ||
+                    source[i + 1] == '+' || source[i + 1] == '-')) {
+          isFloat = true;
+          advance(2);
+        } else if (d == 'f' && isFloat) {
+          advance(1);
+          break;
+        } else {
+          break;
+        }
+      }
+      std::string text(source.substr(start, i - start));
+      if (!text.empty() && text.back() == 'f') text.pop_back();
+      if (isFloat) {
+        t.kind = TokenKind::FloatLiteral;
+        t.floatValue = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::IntLiteral;
+        t.intValue = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      t.text = std::move(text);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Two-character punctuation.
+    bool matched = false;
+    if (i + 1 < source.size()) {
+      const std::string_view two = source.substr(i, 2);
+      for (const char* p : kPunct2) {
+        if (two == p) {
+          Token t;
+          t.loc = loc();
+          t.kind = TokenKind::Punct;
+          t.text = std::string(two);
+          tokens.push_back(std::move(t));
+          advance(2);
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (matched) continue;
+    // Single-character punctuation.
+    for (const char* p = kPunct1; *p; ++p) {
+      if (c == *p) {
+        Token t;
+        t.loc = loc();
+        t.kind = TokenKind::Punct;
+        t.text = std::string(1, c);
+        tokens.push_back(std::move(t));
+        advance(1);
+        matched = true;
+        break;
+      }
+    }
+    require<ParseError>(matched, strings::format("unexpected character '%c' at line %d column %d",
+                                                 c, line, column));
+  }
+
+  Token eof;
+  eof.kind = TokenKind::EndOfFile;
+  eof.loc = loc();
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace hetpar::frontend

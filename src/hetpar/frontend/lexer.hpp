@@ -1,0 +1,37 @@
+// Tokenizer for mini-C.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hetpar/frontend/ast.hpp"
+
+namespace hetpar::frontend {
+
+enum class TokenKind {
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  Keyword,  // int float double void if else for while return
+  Punct,    // operators and delimiters, text in Token::text
+  EndOfFile,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::EndOfFile;
+  std::string text;
+  long long intValue = 0;
+  double floatValue = 0.0;
+  SourceLoc loc;
+
+  bool is(TokenKind k) const { return kind == k; }
+  bool isPunct(std::string_view p) const { return kind == TokenKind::Punct && text == p; }
+  bool isKeyword(std::string_view k) const { return kind == TokenKind::Keyword && text == k; }
+};
+
+/// Tokenizes `source`; the result always ends with an EndOfFile token.
+/// Handles `//` and `/* */` comments. Throws hetpar::ParseError on bad input.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace hetpar::frontend

@@ -1,0 +1,19 @@
+// Recursive-descent parser for mini-C.
+#pragma once
+
+#include <string_view>
+
+#include "hetpar/frontend/ast.hpp"
+
+namespace hetpar::frontend {
+
+/// Parses a translation unit. Throws hetpar::ParseError with line/column
+/// information on syntax errors. The returned Program has not been through
+/// sema yet (statement ids are unassigned).
+Program parseProgram(std::string_view source);
+
+/// Deep copy of an expression tree (used for desugaring compound
+/// assignments and by analyses that rewrite expressions).
+ExprPtr cloneExpr(const Expr& e);
+
+}  // namespace hetpar::frontend

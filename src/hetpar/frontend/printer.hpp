@@ -1,0 +1,25 @@
+// Source rendering of mini-C ASTs.
+//
+// Used for diagnostics and by hetpar/codegen, which re-emits the program
+// with parallelization annotations. `PrintHooks::beforeStmt` lets a caller
+// inject text (e.g. `#pragma hetpar ...` lines) ahead of any statement.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "hetpar/frontend/ast.hpp"
+
+namespace hetpar::frontend {
+
+struct PrintHooks {
+  /// Called before each statement; the returned text (if non-empty) is
+  /// emitted on its own lines at the statement's indentation.
+  std::function<std::string(const Stmt&)> beforeStmt;
+};
+
+std::string printExpr(const Expr& expr);
+std::string printStmt(const Stmt& stmt, int indent = 0, const PrintHooks* hooks = nullptr);
+std::string printProgram(const Program& program, const PrintHooks* hooks = nullptr);
+
+}  // namespace hetpar::frontend

@@ -1,0 +1,37 @@
+// Semantic analysis for mini-C.
+//
+// Resolves names, checks light type/shape rules, rejects recursion (the HTG
+// inlines call costs, so the call graph must be a DAG), and assigns every
+// statement a unique id (the parallelizer, cost model, and codegen all key
+// on statement ids).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "hetpar/frontend/ast.hpp"
+
+namespace hetpar::frontend {
+
+/// Per-function view of every name visible inside it (globals + params +
+/// locals). Sema enforces that names are unique within a function across
+/// nested scopes, so a flat map is sufficient for all later analyses.
+using SymbolTable = std::map<std::string, Type>;
+
+struct SemaResult {
+  int numStatements = 0;  ///< ids are 0..numStatements-1, assigned pre-order
+  SymbolTable globals;
+  std::map<const Function*, SymbolTable> functionScopes;
+  /// Functions in reverse-topological call order (callees before callers);
+  /// the cost model profiles in this order.
+  std::vector<const Function*> bottomUpOrder;
+
+  /// Type of `name` as seen from `fn` (falls back to globals).
+  const Type* lookup(const Function* fn, const std::string& name) const;
+};
+
+/// Analyzes `program` in place (assigns statement ids). Throws
+/// hetpar::SemaError on any violation.
+SemaResult analyze(Program& program);
+
+}  // namespace hetpar::frontend

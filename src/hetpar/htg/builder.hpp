@@ -1,0 +1,38 @@
+// Constructs the Augmented Hierarchical Task Graph from an analyzed and
+// profiled mini-C program (paper Section III-A).
+#pragma once
+
+#include "hetpar/cost/profile.hpp"
+#include "hetpar/frontend/sema.hpp"
+#include "hetpar/htg/graph.hpp"
+#include "hetpar/ir/defuse.hpp"
+
+namespace hetpar::htg {
+
+struct BuildInputs {
+  const frontend::Program& program;
+  const frontend::SemaResult& sema;
+  const ir::DefUseAnalysis& defuse;
+  const cost::ProgramProfile& profile;
+};
+
+/// Builds the HTG rooted at main()'s body. Whole-statement calls expand into
+/// Call subtrees over the callee body (each call site gets its own subtree,
+/// with execution counts split by profiled call share); `if` statements stay
+/// atomic leaves. Throws hetpar::Error on structural problems.
+Graph buildGraph(const BuildInputs& in);
+
+/// Convenience: parse + sema + def/use + profile + build in one call.
+/// Returns the graph plus the analysis artifacts it borrowed (kept alive in
+/// the bundle so the graph's pointers stay valid).
+struct FrontendBundle {
+  frontend::Program program;
+  frontend::SemaResult sema;
+  std::unique_ptr<ir::DefUseAnalysis> defuse;
+  cost::ProgramProfile profile;
+  Graph graph;
+};
+
+FrontendBundle buildFromSource(std::string_view source);
+
+}  // namespace hetpar::htg

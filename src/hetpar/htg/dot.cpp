@@ -1,0 +1,61 @@
+#include "hetpar/htg/dot.hpp"
+
+#include <sstream>
+
+#include "hetpar/support/strings.hpp"
+
+namespace hetpar::htg {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void emitNode(std::ostringstream& os, const Graph& g, NodeId id, int depth) {
+  const Node& n = g.node(id);
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  if (!n.isHierarchical()) {
+    os << indent << "n" << n.id << " [label=\"" << escape(n.label) << "\\nEC="
+       << strings::format("%.0f", n.execCount) << " ops="
+       << strings::format("%.1f", n.opsPerExec) << "\", shape=box];\n";
+    return;
+  }
+  os << indent << "subgraph cluster_" << n.id << " {\n";
+  os << indent << "  label=\"" << escape(n.label);
+  if (n.kind == NodeKind::Loop)
+    os << (n.doall ? " [doall]" : " [serial]") << " iter="
+       << strings::format("%.0f", n.iterationsPerExec);
+  os << "\";\n";
+  os << indent << "  n" << n.commIn << " [label=\"comm-in\", shape=ellipse];\n";
+  os << indent << "  n" << n.commOut << " [label=\"comm-out\", shape=ellipse];\n";
+  for (NodeId c : n.children) emitNode(os, g, c, depth + 1);
+  for (const Edge& e : n.edges) {
+    os << indent << "  n" << e.from << " -> n" << e.to;
+    os << " [label=\"";
+    if (e.kind == ir::DepKind::Flow) os << e.bytes << "B";
+    else os << (e.kind == ir::DepKind::Anti ? "anti" : "out");
+    os << "\"";
+    if (e.kind != ir::DepKind::Flow) os << ", style=dashed";
+    os << "];\n";
+  }
+  os << indent << "}\n";
+}
+
+}  // namespace
+
+std::string toDot(const Graph& graph) {
+  std::ostringstream os;
+  os << "digraph htg {\n";
+  os << "  rankdir=TB;\n  node [fontsize=10];\n";
+  if (graph.root() != kNoNode) emitNode(os, graph, graph.root(), 1);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace hetpar::htg

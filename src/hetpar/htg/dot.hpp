@@ -1,0 +1,16 @@
+// Graphviz rendering of an HTG (mirrors the paper's Figure 1 for
+// documentation and debugging).
+#pragma once
+
+#include <string>
+
+#include "hetpar/htg/graph.hpp"
+
+namespace hetpar::htg {
+
+/// Renders the graph as Graphviz dot: hierarchical nodes become clusters
+/// containing their comm nodes and children; data-flow edges are labeled
+/// with byte counts.
+std::string toDot(const Graph& graph);
+
+}  // namespace hetpar::htg

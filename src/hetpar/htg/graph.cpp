@@ -1,0 +1,70 @@
+#include "hetpar/htg/graph.hpp"
+
+#include "hetpar/support/error.hpp"
+
+namespace hetpar::htg {
+
+NodeId Graph::addNode(Node node) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  node.id = id;
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+Node& Graph::node(NodeId id) {
+  HETPAR_CHECK_MSG(id >= 0 && id < static_cast<NodeId>(nodes_.size()), "bad node id");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const Node& Graph::node(NodeId id) const {
+  HETPAR_CHECK_MSG(id >= 0 && id < static_cast<NodeId>(nodes_.size()), "bad node id");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+double Graph::subtreeOpsPerExec(NodeId id) const {
+  const Node& n = node(id);
+  double ops = n.opsPerExec;
+  if (n.isHierarchical()) {
+    for (NodeId c : n.children) {
+      const Node& child = node(c);
+      const double ratio = n.execCount > 0 ? child.execCount / n.execCount : 0.0;
+      ops += ratio * subtreeOpsPerExec(c);
+    }
+  }
+  return ops;
+}
+
+cost::OpMix Graph::subtreeMixPerExec(NodeId id) const {
+  const Node& n = node(id);
+  cost::OpMix mix = n.mixPerExec;
+  if (n.isHierarchical()) {
+    for (NodeId c : n.children) {
+      const Node& child = node(c);
+      const double ratio = n.execCount > 0 ? child.execCount / n.execCount : 0.0;
+      mix += subtreeMixPerExec(c) * ratio;
+    }
+  }
+  return mix;
+}
+
+void Graph::forEach(const std::function<void(const Node&)>& fn) const {
+  if (root_ == kNoNode) return;
+  std::vector<NodeId> stack{root_};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const Node& n = node(id);
+    fn(n);
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) stack.push_back(*it);
+  }
+}
+
+int Graph::hierarchicalCount() const {
+  int count = 0;
+  forEach([&](const Node& n) {
+    if (n.isHierarchical()) ++count;
+  });
+  return count;
+}
+
+}  // namespace hetpar::htg

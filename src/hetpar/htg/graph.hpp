@@ -1,0 +1,119 @@
+// Augmented Hierarchical Task Graph (paper Section III-A, Figure 1).
+//
+// The graph's hierarchy mirrors the source: every node represents one
+// statement. Simple Nodes are leaves (assignments, returns, ifs — which we
+// deliberately keep atomic); Hierarchical Nodes (loops, whole-statement
+// calls, blocks, the root) contain child nodes plus a Communication-In and
+// Communication-Out node encapsulating data flow crossing the node
+// boundary. Data-flow edges connect children (and comm nodes) and are
+// annotated with the number of communicated bytes; they "denote
+// communication if source and target node are executed in different tasks".
+//
+// Leaves carry profiled execution counts and per-execution operation costs
+// (once per processor class via the TimingModel); loop nodes additionally
+// carry DOALL/reduction classification enabling iteration-level splitting.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hetpar/cost/profile.hpp"
+#include "hetpar/frontend/ast.hpp"
+#include "hetpar/ir/dependence.hpp"
+
+namespace hetpar::htg {
+
+enum class NodeKind {
+  Simple,   ///< leaf statement
+  Loop,     ///< for/while with a decomposable body
+  Call,     ///< whole-statement call, children from the callee body
+  Block,    ///< brace block
+  Root,     ///< function body of main (one per graph)
+  CommIn,   ///< communication into a hierarchical node
+  CommOut,  ///< communication out of a hierarchical node
+};
+
+using NodeId = int;
+constexpr NodeId kNoNode = -1;
+
+/// Data-flow or ordering edge between two children of one hierarchical node
+/// (comm nodes included). Flow edges carry payload bytes; Anti/Output edges
+/// are ordering-only.
+struct Edge {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  ir::DepKind kind = ir::DepKind::Flow;
+  long long bytes = 0;
+  std::vector<std::string> vars;
+};
+
+struct Node {
+  NodeId id = kNoNode;
+  NodeKind kind = NodeKind::Simple;
+  const frontend::Stmt* stmt = nullptr;          ///< null for Root/Comm nodes
+  const frontend::Function* scope = nullptr;     ///< function owning the statement
+
+  NodeId parent = kNoNode;
+  std::vector<NodeId> children;  ///< body children in program order (hierarchical only)
+  NodeId commIn = kNoNode;       ///< hierarchical only
+  NodeId commOut = kNoNode;      ///< hierarchical only
+
+  /// Edges among this node's children and its comm nodes (hierarchical only).
+  std::vector<Edge> edges;
+
+  /// Profiled absolute execution count of this node.
+  double execCount = 0.0;
+  /// Abstract ops per execution: inclusive work for leaves, header-only work
+  /// (loop control / call overhead) for hierarchical nodes.
+  double opsPerExec = 0.0;
+  /// The same work broken down by op kind (cross-ISA cost modeling);
+  /// mixPerExec.total() == opsPerExec.
+  cost::OpMix mixPerExec;
+  /// Average body iterations per execution (Loop nodes; 1 otherwise).
+  double iterationsPerExec = 1.0;
+
+  // Loop-node classification (valid when kind == Loop, stmt is a ForStmt).
+  bool doall = false;
+  std::set<std::string> reductionVars;
+  std::string doallReason;  ///< why not DOALL, for diagnostics
+
+  bool isHierarchical() const {
+    return kind == NodeKind::Loop || kind == NodeKind::Call || kind == NodeKind::Block ||
+           kind == NodeKind::Root;
+  }
+  bool isComm() const { return kind == NodeKind::CommIn || kind == NodeKind::CommOut; }
+
+  std::string label;  ///< short human-readable description
+};
+
+class Graph {
+ public:
+  NodeId addNode(Node node);
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  std::size_t size() const { return nodes_.size(); }
+
+  NodeId root() const { return root_; }
+  void setRoot(NodeId id) { root_ = id; }
+
+  /// Total abstract ops of one execution of `id`'s subtree (children scaled
+  /// by their execution-count ratios). This is the sequential workload the
+  /// speedup baselines divide by.
+  double subtreeOpsPerExec(NodeId id) const;
+
+  /// Per-kind breakdown of subtreeOpsPerExec.
+  cost::OpMix subtreeMixPerExec(NodeId id) const;
+
+  /// Pre-order walk over hierarchical structure (comm nodes excluded).
+  void forEach(const std::function<void(const Node&)>& fn) const;
+
+  /// Number of hierarchical nodes (= number of ILPPAR target regions).
+  int hierarchicalCount() const;
+
+ private:
+  std::vector<Node> nodes_;
+  NodeId root_ = kNoNode;
+};
+
+}  // namespace hetpar::htg

@@ -1,0 +1,94 @@
+#include "hetpar/htg/validate.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "hetpar/support/error.hpp"
+#include "hetpar/support/strings.hpp"
+
+namespace hetpar::htg {
+
+std::vector<std::string> validate(const Graph& graph) {
+  std::vector<std::string> problems;
+  auto complain = [&](const std::string& p) { problems.push_back(p); };
+
+  if (graph.root() == kNoNode) {
+    complain("graph has no root");
+    return problems;
+  }
+
+  int rootCount = 0;
+  graph.forEach([&](const Node& n) {
+    if (n.kind == NodeKind::Root) ++rootCount;
+
+    if (n.execCount < 0) complain(strings::format("node %d has negative exec count", n.id));
+    if (n.opsPerExec < 0) complain(strings::format("node %d has negative cost", n.id));
+
+    if (n.isHierarchical()) {
+      if (n.children.empty())
+        complain(strings::format("hierarchical node %d has no children", n.id));
+      if (n.commIn == kNoNode || n.commOut == kNoNode) {
+        complain(strings::format("hierarchical node %d lacks comm nodes", n.id));
+        return;
+      }
+      const Node& cin = graph.node(n.commIn);
+      const Node& cout = graph.node(n.commOut);
+      if (cin.kind != NodeKind::CommIn || cout.kind != NodeKind::CommOut)
+        complain(strings::format("node %d comm nodes have wrong kinds", n.id));
+      if (cin.execCount != n.execCount || cout.execCount != n.execCount)
+        complain(strings::format("node %d comm-node exec counts mismatch", n.id));
+
+      // Child back-links.
+      std::map<NodeId, int> position;  // child/comm id -> topological slot
+      position[n.commIn] = -1;
+      for (std::size_t i = 0; i < n.children.size(); ++i) {
+        const Node& c = graph.node(n.children[i]);
+        if (c.parent != n.id)
+          complain(strings::format("child %d does not point back to parent %d", c.id, n.id));
+        if (c.isComm()) complain(strings::format("comm node %d listed as body child", c.id));
+        position[c.id] = static_cast<int>(i);
+      }
+      position[n.commOut] = static_cast<int>(n.children.size());
+
+      for (const Edge& e : n.edges) {
+        auto fromIt = position.find(e.from);
+        auto toIt = position.find(e.to);
+        if (fromIt == position.end() || toIt == position.end()) {
+          complain(strings::format("node %d has edge to foreign nodes %d->%d", n.id, e.from,
+                                   e.to));
+          continue;
+        }
+        if (e.from == e.to) complain(strings::format("node %d has self-loop on %d", n.id, e.from));
+        if (fromIt->second >= toIt->second)
+          complain(strings::format("node %d has backward edge %d->%d", n.id, e.from, e.to));
+        if (e.bytes < 0) complain(strings::format("edge %d->%d has negative bytes", e.from, e.to));
+        if (e.kind == ir::DepKind::Flow && e.bytes == 0 && !e.vars.empty() &&
+            !graph.node(e.from).isComm() && !graph.node(e.to).isComm()) {
+          // Zero-byte flow edges are legal (zero-size types don't exist in
+          // mini-C, but scalars passed through comm nodes may round to 0);
+          // keep as informational only — not a problem.
+        }
+      }
+    } else {
+      if (!n.children.empty())
+        complain(strings::format("leaf node %d has children", n.id));
+      // Leaves must be Simple nodes (comm nodes are not leaves of the
+      // hierarchy; they are auxiliary).
+      if (n.kind != NodeKind::Simple && !n.isComm())
+        complain(strings::format("leaf node %d is not a Simple node", n.id));
+    }
+  });
+
+  if (rootCount != 1) complain(strings::format("expected exactly 1 root, found %d", rootCount));
+  return problems;
+}
+
+void validateOrThrow(const Graph& graph) {
+  const auto problems = validate(graph);
+  if (problems.empty()) return;
+  std::string all = "HTG validation failed:";
+  for (const auto& p : problems) all += "\n  - " + p;
+  throw InternalError(all);
+}
+
+}  // namespace hetpar::htg

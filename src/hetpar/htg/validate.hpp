@@ -1,0 +1,28 @@
+// Structural validation of an HTG (used by tests and asserted by the
+// parallelizer before it trusts a graph).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hetpar/htg/graph.hpp"
+
+namespace hetpar::htg {
+
+/// Returns a list of human-readable problems; empty means the graph is
+/// well-formed. Checked invariants (paper Section III-A):
+///  * exactly one Root, which is the graph's root;
+///  * every hierarchical node has CommIn/CommOut nodes and >= 1 child;
+///  * all leaves are Simple nodes ("By construction, all leaves of the
+///    graph are Simple Nodes");
+///  * parent/child links are mutually consistent;
+///  * edges of a node connect its own children/comm nodes only, never
+///    form self-loops, and always point forward (acyclic regions);
+///  * execution counts and costs are non-negative; comm-node exec counts
+///    match their parent.
+std::vector<std::string> validate(const Graph& graph);
+
+/// Throws hetpar::InternalError with all problems if validation fails.
+void validateOrThrow(const Graph& graph);
+
+}  // namespace hetpar::htg

@@ -1,0 +1,37 @@
+// Branch-and-bound MILP solver on top of the bounded-variable simplex.
+//
+// Depth-first search with best-incumbent pruning; branches on the most
+// fractional integer variable, exploring the child nearest the LP value
+// first. Proves optimality (paper: "solvers guarantee to find the optimal
+// solution if one exists and they can determine that they found it") unless
+// the node or time limit interrupts it, in which case the best incumbent is
+// returned with status Feasible.
+#pragma once
+
+#include "hetpar/ilp/model.hpp"
+#include "hetpar/ilp/simplex.hpp"
+
+namespace hetpar::ilp {
+
+class BranchAndBoundSolver final : public Solver {
+ public:
+  explicit BranchAndBoundSolver(SolveOptions options = {}) : options_(options) {}
+
+  Solution solve(const Model& model) override;
+  const SolveStats& lastStats() const override { return stats_; }
+
+  const SolveOptions& options() const { return options_; }
+  void setOptions(const SolveOptions& options) { options_ = options; }
+
+ private:
+  SolveOptions options_;
+  SolveStats stats_;
+};
+
+/// Creates the default solver used across hetpar (mirrors the paper's
+/// pluggable lpsolve/CPLEX choice point).
+inline BranchAndBoundSolver makeDefaultSolver(SolveOptions options = {}) {
+  return BranchAndBoundSolver(options);
+}
+
+}  // namespace hetpar::ilp

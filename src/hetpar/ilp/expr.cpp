@@ -1,0 +1,78 @@
+#include "hetpar/ilp/expr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace hetpar::ilp {
+
+double LinearExpr::coefficient(Var v) const {
+  auto it = std::lower_bound(terms_.begin(), terms_.end(), v.index(),
+                             [](const auto& term, int idx) { return term.first < idx; });
+  if (it != terms_.end() && it->first == v.index()) return it->second;
+  return 0.0;
+}
+
+void LinearExpr::normalize() {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < terms_.size();) {
+    int idx = terms_[i].first;
+    double coef = 0.0;
+    while (i < terms_.size() && terms_[i].first == idx) {
+      coef += terms_[i].second;
+      ++i;
+    }
+    if (coef != 0.0) terms_[out++] = {idx, coef};
+  }
+  terms_.resize(out);
+}
+
+LinearExpr& LinearExpr::operator+=(const LinearExpr& rhs) {
+  constant_ += rhs.constant_;
+  terms_.insert(terms_.end(), rhs.terms_.begin(), rhs.terms_.end());
+  normalize();
+  return *this;
+}
+
+LinearExpr& LinearExpr::operator-=(const LinearExpr& rhs) {
+  constant_ -= rhs.constant_;
+  terms_.reserve(terms_.size() + rhs.terms_.size());
+  for (const auto& [idx, coef] : rhs.terms_) terms_.emplace_back(idx, -coef);
+  normalize();
+  return *this;
+}
+
+LinearExpr& LinearExpr::operator*=(double factor) {
+  constant_ *= factor;
+  if (factor == 0.0) {
+    terms_.clear();
+    return *this;
+  }
+  for (auto& [idx, coef] : terms_) coef *= factor;
+  return *this;
+}
+
+std::string LinearExpr::str() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [idx, coef] : terms_) {
+    if (first) {
+      if (coef < 0) os << "-";
+    } else {
+      os << (coef < 0 ? " - " : " + ");
+    }
+    const double mag = std::fabs(coef);
+    if (mag != 1.0) os << mag << "*";
+    os << "x" << idx;
+    first = false;
+  }
+  if (constant_ != 0.0 || first) {
+    if (!first) os << (constant_ < 0 ? " - " : " + ") << std::fabs(constant_);
+    else os << constant_;
+  }
+  return os.str();
+}
+
+}  // namespace hetpar::ilp

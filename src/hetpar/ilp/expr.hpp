@@ -1,0 +1,75 @@
+// Linear expressions over ILP model variables.
+//
+// A `Var` is a lightweight handle into a `Model`; `LinearExpr` is an affine
+// combination of variables (`sum coef_i * var_i + constant`). Expressions are
+// value types with the obvious +,-,* operators so ILP constraints read close
+// to the paper's equations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hetpar::ilp {
+
+/// Handle to a model variable. Only meaningful together with the Model that
+/// created it. The default-constructed handle is invalid.
+class Var {
+ public:
+  Var() = default;
+  explicit Var(int index) : index_(index) {}
+
+  bool valid() const { return index_ >= 0; }
+  int index() const { return index_; }
+
+  friend bool operator==(Var a, Var b) { return a.index_ == b.index_; }
+  friend bool operator!=(Var a, Var b) { return !(a == b); }
+
+ private:
+  int index_ = -1;
+};
+
+/// Affine expression: sum of (coefficient, variable) terms plus a constant.
+/// Terms are kept normalized: sorted by variable index, no duplicates, no
+/// zero coefficients.
+class LinearExpr {
+ public:
+  LinearExpr() = default;
+  /*implicit*/ LinearExpr(double constant) : constant_(constant) {}
+  /*implicit*/ LinearExpr(Var v) { terms_.emplace_back(v.index(), 1.0); }
+
+  static LinearExpr term(double coef, Var v) {
+    LinearExpr e;
+    if (coef != 0.0) e.terms_.emplace_back(v.index(), coef);
+    return e;
+  }
+
+  double constant() const { return constant_; }
+  const std::vector<std::pair<int, double>>& terms() const { return terms_; }
+  bool isConstant() const { return terms_.empty(); }
+  std::size_t size() const { return terms_.size(); }
+
+  /// Coefficient of `v` (0 if absent).
+  double coefficient(Var v) const;
+
+  LinearExpr& operator+=(const LinearExpr& rhs);
+  LinearExpr& operator-=(const LinearExpr& rhs);
+  LinearExpr& operator*=(double factor);
+
+  friend LinearExpr operator+(LinearExpr a, const LinearExpr& b) { return a += b; }
+  friend LinearExpr operator-(LinearExpr a, const LinearExpr& b) { return a -= b; }
+  friend LinearExpr operator*(LinearExpr a, double f) { return a *= f; }
+  friend LinearExpr operator*(double f, LinearExpr a) { return a *= f; }
+  friend LinearExpr operator-(LinearExpr a) { return a *= -1.0; }
+
+  /// Debug rendering, e.g. "2*x3 - x7 + 1.5".
+  std::string str() const;
+
+ private:
+  void normalize();
+  std::vector<std::pair<int, double>> terms_;  // (var index, coefficient)
+  double constant_ = 0.0;
+};
+
+}  // namespace hetpar::ilp

@@ -1,0 +1,126 @@
+#include "hetpar/ilp/model.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "hetpar/support/error.hpp"
+
+namespace hetpar::ilp {
+
+long long Solution::integral(Var v) const {
+  return static_cast<long long>(std::llround(value(v)));
+}
+
+Var Model::addVar(VarType type, double lb, double ub, std::string name) {
+  require<SolverError>(lb <= ub, "variable '" + name + "' has empty domain");
+  if (type == VarType::Binary) {
+    require<SolverError>(lb >= 0.0 && ub <= 1.0, "binary variable '" + name + "' bounds not in [0,1]");
+  }
+  VarInfo info;
+  info.name = std::move(name);
+  info.type = type;
+  info.lowerBound = lb;
+  info.upperBound = ub;
+  vars_.push_back(std::move(info));
+  return Var(static_cast<int>(vars_.size()) - 1);
+}
+
+Var Model::addAnd(Var x, Var y, std::string name) {
+  HETPAR_CHECK(x.valid() && y.valid());
+  Var z = addBool(name);
+  // Paper Eq 7: z >= x + y - 1, z <= x, z <= y.
+  addGe(LinearExpr(z), LinearExpr(x) + LinearExpr(y) - 1.0, varInfo(z).name + "_and_ge");
+  addLe(LinearExpr(z), LinearExpr(x), varInfo(z).name + "_and_le_x");
+  addLe(LinearExpr(z), LinearExpr(y), varInfo(z).name + "_and_le_y");
+  return z;
+}
+
+void Model::addConstraint(const LinearExpr& lhs, Relation relation, const LinearExpr& rhs,
+                          std::string name) {
+  LinearExpr diff = lhs - rhs;
+  Constraint c;
+  c.relation = relation;
+  c.rhs = -diff.constant();
+  c.lhs = diff - diff.constant();  // strip the constant, keep variable terms
+  c.name = std::move(name);
+  for (const auto& [idx, coef] : c.lhs.terms()) {
+    (void)coef;
+    HETPAR_CHECK_MSG(idx >= 0 && idx < static_cast<int>(vars_.size()),
+                     "constraint references unknown variable");
+  }
+  constraints_.push_back(std::move(c));
+}
+
+std::size_t Model::numIntegerVars() const {
+  std::size_t n = 0;
+  for (const auto& v : vars_)
+    if (v.type != VarType::Continuous) ++n;
+  return n;
+}
+
+void Model::setObjective(const LinearExpr& objective, Sense sense) {
+  objective_ = objective;
+  sense_ = sense;
+}
+
+bool Model::isFeasible(const std::vector<double>& values, double tol) const {
+  if (values.size() != vars_.size()) return false;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    const VarInfo& v = vars_[i];
+    if (values[i] < v.lowerBound - tol || values[i] > v.upperBound + tol) return false;
+    if (v.type != VarType::Continuous &&
+        std::fabs(values[i] - std::llround(values[i])) > tol)
+      return false;
+  }
+  for (const Constraint& c : constraints_) {
+    double lhs = 0.0;
+    for (const auto& [idx, coef] : c.lhs.terms()) lhs += coef * values[static_cast<std::size_t>(idx)];
+    switch (c.relation) {
+      case Relation::LessEqual:
+        if (lhs > c.rhs + tol) return false;
+        break;
+      case Relation::GreaterEqual:
+        if (lhs < c.rhs - tol) return false;
+        break;
+      case Relation::Equal:
+        if (std::fabs(lhs - c.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+double Model::evalObjective(const std::vector<double>& values) const {
+  double obj = objective_.constant();
+  for (const auto& [idx, coef] : objective_.terms())
+    obj += coef * values.at(static_cast<std::size_t>(idx));
+  return obj;
+}
+
+std::string Model::str() const {
+  std::ostringstream os;
+  os << (sense_ == Sense::Minimize ? "minimize" : "maximize") << " " << objective_.str() << "\n";
+  os << "subject to\n";
+  for (const Constraint& c : constraints_) {
+    os << "  ";
+    if (!c.name.empty()) os << c.name << ": ";
+    os << c.lhs.str();
+    switch (c.relation) {
+      case Relation::LessEqual: os << " <= "; break;
+      case Relation::GreaterEqual: os << " >= "; break;
+      case Relation::Equal: os << " = "; break;
+    }
+    os << c.rhs << "\n";
+  }
+  os << "bounds\n";
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    const VarInfo& v = vars_[i];
+    os << "  " << v.lowerBound << " <= " << v.name << "(x" << i << ") <= " << v.upperBound;
+    if (v.type == VarType::Binary) os << " binary";
+    else if (v.type == VarType::Integer) os << " integer";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hetpar::ilp

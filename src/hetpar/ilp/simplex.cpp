@@ -1,0 +1,746 @@
+#include "hetpar/ilp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "hetpar/support/error.hpp"
+
+namespace hetpar::ilp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class ColStatus : std::uint8_t { AtLower, AtUpper, Basic, Free };
+
+/// Full simplex working state. One instance per `solve` call.
+struct Tableau {
+  int m = 0;            // rows
+  int n = 0;            // structural + slack columns (no artificials)
+  int total = 0;        // n + m (artificials appended)
+  const LpProblem* lp = nullptr;
+
+  std::vector<std::vector<std::pair<int, double>>> cols;  // incl. artificials
+  std::vector<double> lower, upper;                       // incl. artificials
+  std::vector<double> costPhase2;                         // incl. artificials (0)
+
+  std::vector<ColStatus> status;
+  std::vector<double> nonbasicValue;  // value of nonbasic col (bound or 0)
+  std::vector<int> basic;             // basic[i] = column basic in row i
+  std::vector<int> basicPos;          // basicPos[j] = row if basic else -1
+  std::vector<double> xB;             // values of basic variables
+  std::vector<double> binv;           // m*m row-major dense basis inverse
+
+  double tol;
+  long long iterations = 0;
+
+  double& binvAt(int i, int j) { return binv[static_cast<std::size_t>(i) * m + j]; }
+  double binvAt(int i, int j) const { return binv[static_cast<std::size_t>(i) * m + j]; }
+
+  void init(const LpProblem& problem, double tolerance);
+  /// Seeds statuses/basis from `warm` instead of the artificial basis.
+  /// Returns false on structural mismatch or a singular basis. `cache`
+  /// (optional) supplies a ready-made inverse for exactly this basis,
+  /// skipping the O(m^3) refactorization.
+  bool initFromBasis(const LpProblem& problem, double tolerance, const SimplexBasis& warm,
+                     const std::vector<double>* readyBinv);
+  /// Drives a warm-started (possibly bound-violating) basis to primal
+  /// feasibility by temporarily relaxing the violated variables' bounds.
+  /// Optimal = feasible now; Infeasible = proven empty; IterationLimit =
+  /// could not decide (caller should cold-start).
+  LpStatus boundShiftPhase1(long long maxIterations);
+  void exportBasis(SimplexBasis& out) const;
+  void recomputeBasicValues();
+  bool refactorize();  // rebuild binv from the basis; false if singular
+  LpStatus runPhase(const std::vector<double>& cost, long long maxIterations,
+                    bool phase1);
+  double primalInfeasibility() const;
+  void extractSolution(std::vector<double>& x) const;
+};
+
+void Tableau::init(const LpProblem& problem, double tolerance) {
+  lp = &problem;
+  tol = tolerance;
+  m = problem.numRows;
+  n = problem.numCols;
+  total = n + m;
+
+  cols = problem.cols;
+  cols.resize(static_cast<std::size_t>(total));
+  lower = problem.lower;
+  upper = problem.upper;
+  lower.resize(static_cast<std::size_t>(total), 0.0);
+  upper.resize(static_cast<std::size_t>(total), kInf);
+  costPhase2 = problem.cost;
+  costPhase2.resize(static_cast<std::size_t>(total), 0.0);
+
+  status.assign(static_cast<std::size_t>(total), ColStatus::AtLower);
+  nonbasicValue.assign(static_cast<std::size_t>(total), 0.0);
+  basic.assign(static_cast<std::size_t>(m), -1);
+  basicPos.assign(static_cast<std::size_t>(total), -1);
+  xB.assign(static_cast<std::size_t>(m), 0.0);
+  binv.assign(static_cast<std::size_t>(m) * m, 0.0);
+
+  // Nonbasic structural/slack columns start at their nearest finite bound.
+  for (int j = 0; j < n; ++j) {
+    if (std::isfinite(lower[j])) {
+      status[j] = ColStatus::AtLower;
+      nonbasicValue[j] = lower[j];
+    } else if (std::isfinite(upper[j])) {
+      status[j] = ColStatus::AtUpper;
+      nonbasicValue[j] = upper[j];
+    } else {
+      status[j] = ColStatus::Free;
+      nonbasicValue[j] = 0.0;
+    }
+  }
+
+  // Row residuals with nonbasic columns at their starting values.
+  std::vector<double> residual = lp->rhs;
+  for (int j = 0; j < n; ++j) {
+    const double v = nonbasicValue[j];
+    if (v == 0.0) continue;
+    for (const auto& [row, coef] : cols[j]) residual[static_cast<std::size_t>(row)] -= coef * v;
+  }
+
+  // One artificial per row, signed so its starting (basic) value is >= 0.
+  for (int i = 0; i < m; ++i) {
+    const int aj = n + i;
+    const double sign = residual[static_cast<std::size_t>(i)] >= 0.0 ? 1.0 : -1.0;
+    cols[static_cast<std::size_t>(aj)] = {{i, sign}};
+    lower[static_cast<std::size_t>(aj)] = 0.0;
+    upper[static_cast<std::size_t>(aj)] = kInf;
+    status[static_cast<std::size_t>(aj)] = ColStatus::Basic;
+    basic[static_cast<std::size_t>(i)] = aj;
+    basicPos[static_cast<std::size_t>(aj)] = i;
+    xB[static_cast<std::size_t>(i)] = std::fabs(residual[static_cast<std::size_t>(i)]);
+    binvAt(i, i) = sign;  // inverse of diag(sign) is itself
+  }
+}
+
+bool Tableau::initFromBasis(const LpProblem& problem, double tolerance,
+                            const SimplexBasis& warm, const std::vector<double>* readyBinv) {
+  lp = &problem;
+  tol = tolerance;
+  m = problem.numRows;
+  n = problem.numCols;
+  total = n + m;
+  if (static_cast<int>(warm.basicCols.size()) != m) return false;
+  if (static_cast<int>(warm.atUpper.size()) != n) return false;
+
+  cols = problem.cols;
+  cols.resize(static_cast<std::size_t>(total));
+  lower = problem.lower;
+  upper = problem.upper;
+  lower.resize(static_cast<std::size_t>(total), 0.0);
+  upper.resize(static_cast<std::size_t>(total), 0.0);  // artificials pinned shut
+  costPhase2 = problem.cost;
+  costPhase2.resize(static_cast<std::size_t>(total), 0.0);
+
+  status.assign(static_cast<std::size_t>(total), ColStatus::AtLower);
+  nonbasicValue.assign(static_cast<std::size_t>(total), 0.0);
+  basic.assign(static_cast<std::size_t>(m), -1);
+  basicPos.assign(static_cast<std::size_t>(total), -1);
+  xB.assign(static_cast<std::size_t>(m), 0.0);
+  binv.assign(static_cast<std::size_t>(m) * m, 0.0);
+
+  // Artificial columns exist for layout compatibility but stay fixed at 0.
+  for (int i = 0; i < m; ++i)
+    cols[static_cast<std::size_t>(n + i)] = {{i, 1.0}};
+
+  for (int i = 0; i < m; ++i) {
+    const int j = warm.basicCols[static_cast<std::size_t>(i)];
+    // Artificial columns (j >= n) may legitimately sit in an optimal basis
+    // at value zero; they stay pinned to [0,0] here.
+    if (j < 0 || j >= total) return false;
+    if (basicPos[static_cast<std::size_t>(j)] != -1) return false;  // duplicate
+    basic[static_cast<std::size_t>(i)] = j;
+    basicPos[static_cast<std::size_t>(j)] = i;
+    status[static_cast<std::size_t>(j)] = ColStatus::Basic;
+  }
+  for (int j = 0; j < n; ++j) {
+    if (status[static_cast<std::size_t>(j)] == ColStatus::Basic) continue;
+    const double lo = lower[static_cast<std::size_t>(j)];
+    const double hi = upper[static_cast<std::size_t>(j)];
+    // Honor the recorded bound when it is finite under the *new* bounds;
+    // otherwise snap to the nearest finite bound.
+    if (warm.atUpper[static_cast<std::size_t>(j)] && std::isfinite(hi)) {
+      status[static_cast<std::size_t>(j)] = ColStatus::AtUpper;
+      nonbasicValue[static_cast<std::size_t>(j)] = hi;
+    } else if (std::isfinite(lo)) {
+      status[static_cast<std::size_t>(j)] = ColStatus::AtLower;
+      nonbasicValue[static_cast<std::size_t>(j)] = lo;
+    } else if (std::isfinite(hi)) {
+      status[static_cast<std::size_t>(j)] = ColStatus::AtUpper;
+      nonbasicValue[static_cast<std::size_t>(j)] = hi;
+    } else {
+      status[static_cast<std::size_t>(j)] = ColStatus::Free;
+      nonbasicValue[static_cast<std::size_t>(j)] = 0.0;
+    }
+  }
+  if (readyBinv != nullptr && readyBinv->size() == binv.size()) {
+    binv = *readyBinv;
+    recomputeBasicValues();
+    return true;
+  }
+  if (!refactorize()) return false;
+  return true;
+}
+
+LpStatus Tableau::boundShiftPhase1(long long maxIterations) {
+  const double feasTol = 1e-7;
+  for (int round = 0; round < 4; ++round) {
+    // Collect violated basic variables.
+    std::vector<int> violated;
+    for (int i = 0; i < m; ++i) {
+      const int j = basic[static_cast<std::size_t>(i)];
+      const double v = xB[static_cast<std::size_t>(i)];
+      if (v > upper[static_cast<std::size_t>(j)] + feasTol ||
+          v < lower[static_cast<std::size_t>(j)] - feasTol)
+        violated.push_back(i);
+    }
+    if (violated.empty()) return LpStatus::Optimal;
+
+    // Relax each violated variable's offending bound to its current value
+    // and push it back with a unit phase-1 cost.
+    std::vector<double> cost(static_cast<std::size_t>(total), 0.0);
+    std::vector<std::pair<int, std::pair<double, double>>> savedBounds;
+    for (int i : violated) {
+      const int j = basic[static_cast<std::size_t>(i)];
+      const double v = xB[static_cast<std::size_t>(i)];
+      savedBounds.push_back({j, {lower[static_cast<std::size_t>(j)],
+                                 upper[static_cast<std::size_t>(j)]}});
+      if (v > upper[static_cast<std::size_t>(j)]) {
+        upper[static_cast<std::size_t>(j)] = v + 1.0;
+        cost[static_cast<std::size_t>(j)] = 1.0;   // minimize downwards
+      } else {
+        lower[static_cast<std::size_t>(j)] = v - 1.0;
+        cost[static_cast<std::size_t>(j)] = -1.0;  // minimize upwards
+      }
+    }
+    const LpStatus st = runPhase(cost, maxIterations, /*phase1=*/true);
+    // Restore the true bounds.
+    for (const auto& [j, b] : savedBounds) {
+      lower[static_cast<std::size_t>(j)] = b.first;
+      upper[static_cast<std::size_t>(j)] = b.second;
+    }
+    if (st != LpStatus::Optimal) return LpStatus::IterationLimit;
+
+    // Infeasibility certificate (single violation only): the phase
+    // minimized that variable's excursion over a *superset* of the feasible
+    // region; if its optimal value still breaks the bound, no feasible
+    // point exists.
+    if (violated.size() == 1) {
+      const int j = savedBounds[0].first;
+      const double v = status[static_cast<std::size_t>(j)] == ColStatus::Basic
+                           ? xB[static_cast<std::size_t>(basicPos[static_cast<std::size_t>(j)])]
+                           : nonbasicValue[static_cast<std::size_t>(j)];
+      if (v > upper[static_cast<std::size_t>(j)] + feasTol ||
+          v < lower[static_cast<std::size_t>(j)] - feasTol)
+        return LpStatus::Infeasible;
+    }
+
+    // Nonbasic variables may now rest on a relaxed (out-of-bounds) value;
+    // snap them back and recompute.
+    for (int j = 0; j < total; ++j) {
+      if (status[static_cast<std::size_t>(j)] == ColStatus::Basic) continue;
+      double& v = nonbasicValue[static_cast<std::size_t>(j)];
+      const double lo = lower[static_cast<std::size_t>(j)];
+      const double hi = upper[static_cast<std::size_t>(j)];
+      if (v > hi) {
+        v = hi;
+        status[static_cast<std::size_t>(j)] = ColStatus::AtUpper;
+      } else if (v < lo) {
+        v = lo;
+        status[static_cast<std::size_t>(j)] = ColStatus::AtLower;
+      }
+    }
+    recomputeBasicValues();
+  }
+  return LpStatus::IterationLimit;
+}
+
+void Tableau::exportBasis(SimplexBasis& out) const {
+  out.basicCols.assign(basic.begin(), basic.end());
+  out.atUpper.assign(static_cast<std::size_t>(n), 0);
+  for (int j = 0; j < n; ++j)
+    if (status[static_cast<std::size_t>(j)] == ColStatus::AtUpper)
+      out.atUpper[static_cast<std::size_t>(j)] = 1;
+}
+
+void Tableau::recomputeBasicValues() {
+  std::vector<double> rhs = lp->rhs;
+  for (int j = 0; j < total; ++j) {
+    if (status[j] == ColStatus::Basic) continue;
+    const double v = nonbasicValue[j];
+    if (v == 0.0) continue;
+    for (const auto& [row, coef] : cols[j]) rhs[static_cast<std::size_t>(row)] -= coef * v;
+  }
+  for (int i = 0; i < m; ++i) {
+    double v = 0.0;
+    for (int k = 0; k < m; ++k) v += binvAt(i, k) * rhs[static_cast<std::size_t>(k)];
+    xB[static_cast<std::size_t>(i)] = v;
+  }
+}
+
+bool Tableau::refactorize() {
+  // Build the basis matrix and invert it by Gauss-Jordan with partial
+  // pivoting. Called rarely (numerical recovery), so O(m^3) is acceptable.
+  std::vector<double> mat(static_cast<std::size_t>(m) * m, 0.0);
+  for (int i = 0; i < m; ++i) {
+    const int j = basic[static_cast<std::size_t>(i)];
+    for (const auto& [row, coef] : cols[static_cast<std::size_t>(j)])
+      mat[static_cast<std::size_t>(row) * m + i] = coef;
+  }
+  std::vector<double> inv(static_cast<std::size_t>(m) * m, 0.0);
+  for (int i = 0; i < m; ++i) inv[static_cast<std::size_t>(i) * m + i] = 1.0;
+
+  for (int col = 0; col < m; ++col) {
+    int pivotRow = col;
+    double best = std::fabs(mat[static_cast<std::size_t>(col) * m + col]);
+    for (int r = col + 1; r < m; ++r) {
+      const double v = std::fabs(mat[static_cast<std::size_t>(r) * m + col]);
+      if (v > best) {
+        best = v;
+        pivotRow = r;
+      }
+    }
+    if (best < 1e-12) return false;
+    if (pivotRow != col) {
+      for (int k = 0; k < m; ++k) {
+        std::swap(mat[static_cast<std::size_t>(pivotRow) * m + k],
+                  mat[static_cast<std::size_t>(col) * m + k]);
+        std::swap(inv[static_cast<std::size_t>(pivotRow) * m + k],
+                  inv[static_cast<std::size_t>(col) * m + k]);
+      }
+    }
+    const double piv = mat[static_cast<std::size_t>(col) * m + col];
+    for (int k = 0; k < m; ++k) {
+      mat[static_cast<std::size_t>(col) * m + k] /= piv;
+      inv[static_cast<std::size_t>(col) * m + k] /= piv;
+    }
+    for (int r = 0; r < m; ++r) {
+      if (r == col) continue;
+      const double f = mat[static_cast<std::size_t>(r) * m + col];
+      if (f == 0.0) continue;
+      for (int k = 0; k < m; ++k) {
+        mat[static_cast<std::size_t>(r) * m + k] -= f * mat[static_cast<std::size_t>(col) * m + k];
+        inv[static_cast<std::size_t>(r) * m + k] -= f * inv[static_cast<std::size_t>(col) * m + k];
+      }
+    }
+  }
+  binv = std::move(inv);
+  recomputeBasicValues();
+  return true;
+}
+
+double Tableau::primalInfeasibility() const {
+  double worst = 0.0;
+  for (int i = 0; i < m; ++i) {
+    const int j = basic[static_cast<std::size_t>(i)];
+    const double v = xB[static_cast<std::size_t>(i)];
+    worst = std::max(worst, lower[static_cast<std::size_t>(j)] - v);
+    worst = std::max(worst, v - upper[static_cast<std::size_t>(j)]);
+  }
+  return worst;
+}
+
+LpStatus Tableau::runPhase(const std::vector<double>& cost, long long maxIterations,
+                           bool phase1) {
+  const double dualTol = 1e-7;
+  int degenerateStreak = 0;
+  bool bland = false;
+  bool blandForever = false;
+  std::vector<double> y(static_cast<std::size_t>(m));
+  std::vector<double> w(static_cast<std::size_t>(m));
+
+  for (long long iter = 0; iter < maxIterations; ++iter) {
+    ++iterations;
+    // Hard anti-stall: a phase that has not converged after many pivots is
+    // either cycling or zigzagging; Bland's rule guarantees termination.
+    if (iter == 4000) {
+      blandForever = true;
+      bland = true;
+      if (!refactorize()) return LpStatus::IterationLimit;
+    }
+
+    // Duals: y = Binv^T c_B.
+    for (int i = 0; i < m; ++i) y[static_cast<std::size_t>(i)] = 0.0;
+    for (int k = 0; k < m; ++k) {
+      const double cb = cost[static_cast<std::size_t>(basic[static_cast<std::size_t>(k)])];
+      if (cb == 0.0) continue;
+      const double* row = &binv[static_cast<std::size_t>(k) * m];
+      for (int i = 0; i < m; ++i) y[static_cast<std::size_t>(i)] += cb * row[i];
+    }
+
+    // Pricing: pick entering column.
+    int entering = -1;
+    double enteringDir = 0.0;
+    double bestScore = dualTol;
+    for (int j = 0; j < total; ++j) {
+      const ColStatus st = status[static_cast<std::size_t>(j)];
+      if (st == ColStatus::Basic) continue;
+      if (lower[static_cast<std::size_t>(j)] == upper[static_cast<std::size_t>(j)]) continue;
+      double d = cost[static_cast<std::size_t>(j)];
+      for (const auto& [row, coef] : cols[static_cast<std::size_t>(j)])
+        d -= y[static_cast<std::size_t>(row)] * coef;
+      double score = 0.0;
+      double dir = 0.0;
+      if ((st == ColStatus::AtLower || st == ColStatus::Free) && d < -dualTol) {
+        score = -d;
+        dir = 1.0;
+      } else if ((st == ColStatus::AtUpper || st == ColStatus::Free) && d > dualTol) {
+        score = d;
+        dir = -1.0;
+      } else {
+        continue;
+      }
+      if (bland) {
+        entering = j;
+        enteringDir = dir;
+        break;
+      }
+      if (score > bestScore) {
+        bestScore = score;
+        entering = j;
+        enteringDir = dir;
+      }
+    }
+    if (entering < 0) {
+      // Optimal for this phase; verify numerically and refactor once if the
+      // basic values drifted.
+      recomputeBasicValues();
+      if (primalInfeasibility() > 1e-6) {
+        if (!refactorize()) return LpStatus::IterationLimit;
+        if (primalInfeasibility() > 1e-6) return LpStatus::IterationLimit;
+      }
+      return LpStatus::Optimal;
+    }
+
+    // FTRAN: w = Binv * A_entering.
+    std::fill(w.begin(), w.end(), 0.0);
+    for (const auto& [row, coef] : cols[static_cast<std::size_t>(entering)]) {
+      for (int i = 0; i < m; ++i)
+        w[static_cast<std::size_t>(i)] += binvAt(i, row) * coef;
+    }
+
+    // Harris-style two-pass ratio test. Entering moves by t >= 0 in
+    // direction enteringDir; basic variable i changes by
+    // -enteringDir * w[i] * t. Pass 1 computes the step limit with bounds
+    // relaxed by `featol`; pass 2 picks, among rows blocking within that
+    // relaxed limit, the numerically best (largest) pivot. This both avoids
+    // tiny unstable pivots and breaks degenerate ties, which defeats the
+    // classic cycling patterns that exact-tie rules fall into with floating
+    // point.
+    const double featol = 1e-7;
+    const double pivTol = 1e-9;
+    double ownRange = upper[static_cast<std::size_t>(entering)] -
+                      lower[static_cast<std::size_t>(entering)];
+    if (status[static_cast<std::size_t>(entering)] == ColStatus::Free) ownRange = kInf;
+
+    double relaxedLimit = ownRange;
+    for (int i = 0; i < m; ++i) {
+      const double delta = -enteringDir * w[static_cast<std::size_t>(i)];
+      if (std::fabs(delta) <= pivTol) continue;
+      const int bj = basic[static_cast<std::size_t>(i)];
+      double room;
+      if (delta > 0) room = upper[static_cast<std::size_t>(bj)] - xB[static_cast<std::size_t>(i)];
+      else room = xB[static_cast<std::size_t>(i)] - lower[static_cast<std::size_t>(bj)];
+      if (!std::isfinite(room)) continue;
+      const double limit = (std::max(room, 0.0) + featol) / std::fabs(delta);
+      relaxedLimit = std::min(relaxedLimit, limit);
+    }
+
+    int leavingRow = -1;
+    bool leavingAtUpper = false;
+    double tMax = ownRange;
+    if (std::isfinite(relaxedLimit)) {
+      double bestPivot = 0.0;
+      int bestIndex = -1;
+      for (int i = 0; i < m; ++i) {
+        const double delta = -enteringDir * w[static_cast<std::size_t>(i)];
+        if (std::fabs(delta) <= pivTol) continue;
+        const int bj = basic[static_cast<std::size_t>(i)];
+        double room;
+        bool hitsUpper;
+        if (delta > 0) {
+          room = upper[static_cast<std::size_t>(bj)] - xB[static_cast<std::size_t>(i)];
+          hitsUpper = true;
+        } else {
+          room = xB[static_cast<std::size_t>(i)] - lower[static_cast<std::size_t>(bj)];
+          hitsUpper = false;
+        }
+        if (!std::isfinite(room)) continue;
+        const double strictLimit = std::max(room, 0.0) / std::fabs(delta);
+        if (strictLimit > relaxedLimit) continue;
+        const bool better = bland ? (bestIndex < 0 || bj < bestIndex)
+                                  : std::fabs(delta) > bestPivot;
+        if (better) {
+          bestPivot = std::fabs(delta);
+          bestIndex = bj;
+          leavingRow = i;
+          leavingAtUpper = hitsUpper;
+          tMax = strictLimit;
+        }
+      }
+      // Prefer a full bound flip when the entering variable's own range is
+      // within the relaxed limit and shorter than the chosen pivot step.
+      if (leavingRow >= 0 && ownRange <= tMax) leavingRow = -1;
+      if (leavingRow < 0) tMax = ownRange;
+    }
+
+    if (!std::isfinite(tMax)) {
+      return phase1 ? LpStatus::IterationLimit  // phase 1 is always bounded
+                    : LpStatus::Unbounded;
+    }
+
+    if (tMax < 1e-11) {
+      if (++degenerateStreak > 64) bland = true;
+    } else {
+      degenerateStreak = 0;
+      if (!blandForever) bland = false;
+    }
+
+    // Apply the step to basic values.
+    if (tMax > 0.0) {
+      for (int i = 0; i < m; ++i)
+        xB[static_cast<std::size_t>(i)] += -enteringDir * w[static_cast<std::size_t>(i)] * tMax;
+    }
+
+    if (leavingRow < 0) {
+      // Bound flip: entering moves to its opposite bound; basis unchanged.
+      const auto j = static_cast<std::size_t>(entering);
+      if (enteringDir > 0) {
+        status[j] = ColStatus::AtUpper;
+        nonbasicValue[j] = upper[j];
+      } else {
+        status[j] = ColStatus::AtLower;
+        nonbasicValue[j] = lower[j];
+      }
+      continue;
+    }
+
+    // Pivot: entering becomes basic in leavingRow.
+    const double pivot = w[static_cast<std::size_t>(leavingRow)];
+    if (std::fabs(pivot) < 1e-9) {
+      // Numerically unsafe pivot; rebuild the inverse and retry from pricing.
+      if (!refactorize()) return LpStatus::IterationLimit;
+      continue;
+    }
+
+    const int leavingCol = basic[static_cast<std::size_t>(leavingRow)];
+    const double enteringValue =
+        (status[static_cast<std::size_t>(entering)] == ColStatus::Free
+             ? 0.0
+             : nonbasicValue[static_cast<std::size_t>(entering)]) +
+        enteringDir * tMax;
+
+    status[static_cast<std::size_t>(leavingCol)] =
+        leavingAtUpper ? ColStatus::AtUpper : ColStatus::AtLower;
+    nonbasicValue[static_cast<std::size_t>(leavingCol)] =
+        leavingAtUpper ? upper[static_cast<std::size_t>(leavingCol)]
+                       : lower[static_cast<std::size_t>(leavingCol)];
+    basicPos[static_cast<std::size_t>(leavingCol)] = -1;
+
+    basic[static_cast<std::size_t>(leavingRow)] = entering;
+    basicPos[static_cast<std::size_t>(entering)] = leavingRow;
+    status[static_cast<std::size_t>(entering)] = ColStatus::Basic;
+    xB[static_cast<std::size_t>(leavingRow)] = enteringValue;
+
+    // Rank-1 update of the explicit inverse.
+    double* pivotRowPtr = &binv[static_cast<std::size_t>(leavingRow) * m];
+    const double invPivot = 1.0 / pivot;
+    for (int k = 0; k < m; ++k) pivotRowPtr[k] *= invPivot;
+    for (int i = 0; i < m; ++i) {
+      if (i == leavingRow) continue;
+      const double f = w[static_cast<std::size_t>(i)];
+      if (f == 0.0) continue;
+      double* row = &binv[static_cast<std::size_t>(i) * m];
+      for (int k = 0; k < m; ++k) row[k] -= f * pivotRowPtr[k];
+    }
+
+    // Periodic hygiene: recompute basic values to cancel drift.
+    if ((iterations & 255) == 0) recomputeBasicValues();
+  }
+  return LpStatus::IterationLimit;
+}
+
+void Tableau::extractSolution(std::vector<double>& x) const {
+  x.assign(static_cast<std::size_t>(n), 0.0);
+  for (int j = 0; j < n; ++j)
+    if (status[static_cast<std::size_t>(j)] != ColStatus::Basic)
+      x[static_cast<std::size_t>(j)] = nonbasicValue[static_cast<std::size_t>(j)];
+  for (int i = 0; i < m; ++i) {
+    const int j = basic[static_cast<std::size_t>(i)];
+    if (j < n) x[static_cast<std::size_t>(j)] = xB[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace
+
+StandardForm buildLp(const Model& model, const std::vector<double>& lowerOverride,
+                     const std::vector<double>& upperOverride) {
+  const int numStructural = static_cast<int>(model.numVars());
+  HETPAR_CHECK(lowerOverride.size() == model.numVars());
+  HETPAR_CHECK(upperOverride.size() == model.numVars());
+
+  StandardForm out;
+  out.numStructural = numStructural;
+  LpProblem& lp = out.problem;
+  lp.numRows = static_cast<int>(model.numConstraints());
+  lp.cols.resize(static_cast<std::size_t>(numStructural));
+  lp.lower = lowerOverride;
+  lp.upper = upperOverride;
+  lp.cost.assign(static_cast<std::size_t>(numStructural), 0.0);
+
+  const double sign = model.sense() == Sense::Minimize ? 1.0 : -1.0;
+  for (const auto& [idx, coef] : model.objective().terms())
+    lp.cost[static_cast<std::size_t>(idx)] = sign * coef;
+
+  lp.rhs.reserve(model.numConstraints());
+  int row = 0;
+  for (const Constraint& c : model.constraints()) {
+    for (const auto& [idx, coef] : c.lhs.terms())
+      lp.cols[static_cast<std::size_t>(idx)].emplace_back(row, coef);
+    lp.rhs.push_back(c.rhs);
+    // Slack column turning the row into an equality:
+    //   <=  : lhs + s = rhs with s in [0, inf)
+    //   >=  : lhs + s = rhs with s in (-inf, 0]
+    //   =   : no slack
+    if (c.relation != Relation::Equal) {
+      lp.cols.push_back({{row, 1.0}});
+      if (c.relation == Relation::LessEqual) {
+        lp.lower.push_back(0.0);
+        lp.upper.push_back(kInf);
+      } else {
+        lp.lower.push_back(-kInf);
+        lp.upper.push_back(0.0);
+      }
+      lp.cost.push_back(0.0);
+    }
+    ++row;
+  }
+  lp.numCols = static_cast<int>(lp.cols.size());
+  return out;
+}
+
+LpResult BoundedSimplex::solve(const LpProblem& problem, long long maxIterations,
+                               const SimplexBasis* warm, SimplexBasis* basisOut) {
+  LpResult result;
+  for (int j = 0; j < problem.numCols; ++j) {
+    if (problem.lower[static_cast<std::size_t>(j)] >
+        problem.upper[static_cast<std::size_t>(j)]) {
+      result.status = LpStatus::Infeasible;
+      return result;
+    }
+  }
+  if (problem.numRows == 0) {
+    // Pure bound problem: each variable sits at its cheapest finite bound.
+    result.x.resize(static_cast<std::size_t>(problem.numCols));
+    double obj = 0.0;
+    for (int j = 0; j < problem.numCols; ++j) {
+      const double c = problem.cost[static_cast<std::size_t>(j)];
+      const double lo = problem.lower[static_cast<std::size_t>(j)];
+      const double hi = problem.upper[static_cast<std::size_t>(j)];
+      double v;
+      if (c > 0) v = lo;
+      else if (c < 0) v = hi;
+      else v = std::isfinite(lo) ? lo : (std::isfinite(hi) ? hi : 0.0);
+      if (!std::isfinite(v)) {
+        result.status = LpStatus::Unbounded;
+        return result;
+      }
+      result.x[static_cast<std::size_t>(j)] = v;
+      obj += c * v;
+    }
+    result.status = LpStatus::Optimal;
+    result.objective = obj;
+    return result;
+  }
+
+  if (maxIterations <= 0)
+    maxIterations = 20000 + 200LL * (problem.numRows + problem.numCols);
+
+  Tableau t;
+  bool warmed = false;
+  if (warm != nullptr && warm->valid()) {
+    const bool cacheHit =
+        cacheRows_ == problem.numRows &&
+        warm->basicCols.size() == cacheBasic_.size() &&
+        std::equal(cacheBasic_.begin(), cacheBasic_.end(), warm->basicCols.begin());
+    warmed = t.initFromBasis(problem, tol_, *warm, cacheHit ? &cacheBinv_ : nullptr);
+    if (warmed) {
+      const LpStatus ph1 = t.boundShiftPhase1(maxIterations);
+      if (ph1 == LpStatus::Infeasible) {
+        result.status = LpStatus::Infeasible;
+        result.iterations = t.iterations;
+        return result;
+      }
+      if (ph1 != LpStatus::Optimal) warmed = false;  // cold restart below
+    }
+  }
+
+  if (!warmed) {
+    t = Tableau{};
+    t.init(problem, tol_);
+
+    // Phase 1: minimize the sum of artificial variables.
+    std::vector<double> phase1Cost(static_cast<std::size_t>(t.total), 0.0);
+    for (int i = 0; i < t.m; ++i) phase1Cost[static_cast<std::size_t>(t.n + i)] = 1.0;
+    LpStatus st = t.runPhase(phase1Cost, maxIterations, /*phase1=*/true);
+    if (st != LpStatus::Optimal) {
+      result.status = st == LpStatus::Unbounded ? LpStatus::IterationLimit : st;
+      result.iterations = t.iterations;
+      return result;
+    }
+    double artificialSum = 0.0;
+    for (int i = 0; i < t.m; ++i) {
+      const int j = t.basic[static_cast<std::size_t>(i)];
+      if (j >= t.n) artificialSum += std::fabs(t.xB[static_cast<std::size_t>(i)]);
+    }
+    for (int j = t.n; j < t.total; ++j) {
+      if (t.status[static_cast<std::size_t>(j)] != ColStatus::Basic)
+        artificialSum += std::fabs(t.nonbasicValue[static_cast<std::size_t>(j)]);
+    }
+    if (artificialSum > 1e-6) {
+      result.status = LpStatus::Infeasible;
+      result.iterations = t.iterations;
+      return result;
+    }
+
+    // Pin artificials to zero for phase 2.
+    for (int j = t.n; j < t.total; ++j) {
+      t.upper[static_cast<std::size_t>(j)] = 0.0;
+      if (t.status[static_cast<std::size_t>(j)] != ColStatus::Basic) {
+        t.status[static_cast<std::size_t>(j)] = ColStatus::AtLower;
+        t.nonbasicValue[static_cast<std::size_t>(j)] = 0.0;
+      }
+    }
+    t.recomputeBasicValues();
+  }
+
+  // Phase 2: optimize the real objective.
+  LpStatus st = t.runPhase(t.costPhase2, maxIterations, /*phase1=*/false);
+  result.iterations = t.iterations;
+  if (st != LpStatus::Optimal) {
+    result.status = st;
+    return result;
+  }
+  if (basisOut != nullptr) t.exportBasis(*basisOut);
+  // Retain the final inverse so the next warm start on this basis skips
+  // refactorization (the branch-and-bound parent->child pattern).
+  cacheBasic_.assign(t.basic.begin(), t.basic.end());
+  cacheBinv_ = t.binv;
+  cacheRows_ = t.m;
+
+  t.extractSolution(result.x);
+  double obj = 0.0;
+  for (int j = 0; j < t.n; ++j)
+    obj += problem.cost[static_cast<std::size_t>(j)] * result.x[static_cast<std::size_t>(j)];
+  result.objective = obj;
+  result.status = LpStatus::Optimal;
+  return result;
+}
+
+}  // namespace hetpar::ilp

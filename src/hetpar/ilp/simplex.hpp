@@ -1,0 +1,88 @@
+// Bounded-variable primal simplex.
+//
+// Solves LPs in computational standard form
+//     minimize c'x   subject to  A x = b,  l <= x <= u
+// where general bounds (including infinite ones) are handled implicitly by
+// the simplex method rather than as extra rows. This is the LP engine
+// underneath the branch-and-bound MILP solver; keeping bounds implicit is
+// what makes repeated relaxation solves cheap for the parallelizer's
+// binary-heavy models.
+//
+// Implementation: two-phase method with one artificial variable per row,
+// dense explicit basis inverse with eta-style pivot updates, Dantzig pricing
+// with a Bland's-rule fallback to guarantee termination under degeneracy.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "hetpar/ilp/model.hpp"
+
+namespace hetpar::ilp {
+
+/// LP in computational standard form. Rows are equalities; the caller adds
+/// slack columns for inequality rows (see `buildLp`).
+struct LpProblem {
+  int numRows = 0;
+  int numCols = 0;
+  /// Column-wise sparse matrix: cols[j] lists (row, coefficient) pairs.
+  std::vector<std::vector<std::pair<int, double>>> cols;
+  std::vector<double> rhs;    ///< size numRows
+  std::vector<double> cost;   ///< size numCols
+  std::vector<double> lower;  ///< size numCols, may be -inf
+  std::vector<double> upper;  ///< size numCols, may be +inf
+};
+
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+struct LpResult {
+  LpStatus status = LpStatus::IterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< size numCols; valid when status == Optimal
+  long long iterations = 0;
+};
+
+/// Conversion of a `Model` (plus per-variable bound overrides used by
+/// branch and bound) into standard form. Columns [0, numStructural) of the
+/// LpProblem correspond 1:1 to model variables; the rest are slacks.
+struct StandardForm {
+  LpProblem problem;
+  int numStructural = 0;
+};
+
+StandardForm buildLp(const Model& model, const std::vector<double>& lowerOverride,
+                     const std::vector<double>& upperOverride);
+
+/// A compact simplex basis: which columns are basic, and at which bound each
+/// nonbasic column rests. Exported after a solve and fed back as a warm
+/// start for a neighboring problem (same matrix, different bounds) — the
+/// branch-and-bound workhorse.
+struct SimplexBasis {
+  std::vector<int> basicCols;      ///< size numRows
+  std::vector<std::uint8_t> atUpper;  ///< size numCols; 1 = nonbasic at upper
+  bool valid() const { return !basicCols.empty(); }
+};
+
+class BoundedSimplex {
+ public:
+  explicit BoundedSimplex(double tol = 1e-9) : tol_(tol) {}
+
+  /// Solves the LP; `maxIterations <= 0` selects an automatic limit.
+  /// `warm` (optional) seeds the solve from a previous basis of a problem
+  /// with the same matrix (bounds may differ); on structural mismatch or
+  /// numerical failure the solver silently falls back to a cold start.
+  /// `basisOut` (optional) receives the final basis on optimal solves.
+  LpResult solve(const LpProblem& problem, long long maxIterations = 0,
+                 const SimplexBasis* warm = nullptr, SimplexBasis* basisOut = nullptr);
+
+ private:
+  double tol_;
+  // Retained inverse of the last optimal basis (warm-start accelerator for
+  // consecutive branch-and-bound node solves).
+  std::vector<int> cacheBasic_;
+  std::vector<double> cacheBinv_;
+  int cacheRows_ = 0;
+};
+
+}  // namespace hetpar::ilp

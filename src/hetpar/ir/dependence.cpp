@@ -1,0 +1,93 @@
+#include "hetpar/ir/dependence.hpp"
+
+#include <algorithm>
+
+namespace hetpar::ir {
+
+std::vector<DepEdge> computeSiblingDeps(const std::vector<const frontend::Stmt*>& siblings,
+                                        const DefUseAnalysis& du,
+                                        const frontend::Function* fn) {
+  const int n = static_cast<int>(siblings.size());
+  // Edge map keyed by (from, to, kind) so multiple shared variables merge
+  // into a single edge with summed payload.
+  std::map<std::tuple<int, int, DepKind>, DepEdge> edges;
+  auto addEdge = [&](int from, int to, DepKind kind, const std::string& var, long long bytes) {
+    auto [it, inserted] = edges.try_emplace({from, to, kind});
+    DepEdge& e = it->second;
+    if (inserted) {
+      e.from = from;
+      e.to = to;
+      e.kind = kind;
+    }
+    if (std::find(e.vars.begin(), e.vars.end(), var) == e.vars.end()) {
+      e.vars.push_back(var);
+      e.bytes += bytes;
+    }
+  };
+
+  for (int j = 0; j < n; ++j) {
+    const DefUse& dj = du.of(*siblings[static_cast<std::size_t>(j)]);
+    // Flow: last writer of each used variable.
+    for (const auto& v : dj.uses) {
+      for (int i = j - 1; i >= 0; --i) {
+        if (du.of(*siblings[static_cast<std::size_t>(i)]).defs.count(v)) {
+          addEdge(i, j, DepKind::Flow, v, du.byteSizeOf(fn, v));
+          break;
+        }
+      }
+    }
+    for (const auto& v : dj.defs) {
+      // Output: nearest earlier writer.
+      for (int i = j - 1; i >= 0; --i) {
+        if (du.of(*siblings[static_cast<std::size_t>(i)]).defs.count(v)) {
+          addEdge(i, j, DepKind::Output, v, 0);
+          break;
+        }
+      }
+      // Anti: readers since the previous write.
+      for (int i = j - 1; i >= 0; --i) {
+        const DefUse& di = du.of(*siblings[static_cast<std::size_t>(i)]);
+        if (di.uses.count(v) && i != j) addEdge(i, j, DepKind::Anti, v, 0);
+        if (di.defs.count(v)) break;  // earlier reads belong to the previous write
+      }
+    }
+  }
+
+  std::vector<DepEdge> out;
+  out.reserve(edges.size());
+  for (auto& [key, e] : edges) out.push_back(std::move(e));
+  return out;
+}
+
+RegionFlow computeRegionFlow(const std::vector<const frontend::Stmt*>& siblings,
+                             const DefUseAnalysis& du, const frontend::Function* fn) {
+  const int n = static_cast<int>(siblings.size());
+  RegionFlow flow;
+  flow.inbound.resize(static_cast<std::size_t>(n));
+  flow.outbound.resize(static_cast<std::size_t>(n));
+
+  for (int j = 0; j < n; ++j) {
+    const DefUse& dj = du.of(*siblings[static_cast<std::size_t>(j)]);
+    for (const auto& v : dj.uses) {
+      bool producedEarlier = false;
+      for (int i = 0; i < j && !producedEarlier; ++i)
+        producedEarlier = du.of(*siblings[static_cast<std::size_t>(i)]).defs.count(v) > 0;
+      if (!producedEarlier)
+        flow.inbound[static_cast<std::size_t>(j)][v] = du.byteSizeOf(fn, v);
+    }
+    for (const auto& v : dj.defs) {
+      bool overwrittenLater = false;
+      for (int i = j + 1; i < n && !overwrittenLater; ++i) {
+        const DefUse& di = du.of(*siblings[static_cast<std::size_t>(i)]);
+        // A later sibling that *uses then redefines* still forwards our
+        // value; only a pure overwrite kills it.
+        overwrittenLater = di.defs.count(v) > 0 && di.uses.count(v) == 0;
+      }
+      if (!overwrittenLater)
+        flow.outbound[static_cast<std::size_t>(j)][v] = du.byteSizeOf(fn, v);
+    }
+  }
+  return flow;
+}
+
+}  // namespace hetpar::ir

@@ -1,0 +1,51 @@
+// Data-dependence analysis between ordered sibling statements.
+//
+// The HTG needs, per hierarchical region, the dependence edges among the
+// region's direct children (paper: "Data-Flow edges ... denote communication
+// if source and target node are executed in different tasks") plus the flows
+// that cross the region boundary (feeding the Communication-In/Out nodes).
+//
+// Variables are treated as whole objects (array granularity); flow edges go
+// from the *last* writer to each reader, anti/output edges are pure ordering
+// (zero communication payload — task spawn copies data, so WAR hazards
+// dissolve, but we keep the ordering to stay conservative).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hetpar/ir/defuse.hpp"
+
+namespace hetpar::ir {
+
+enum class DepKind { Flow, Anti, Output };
+
+struct DepEdge {
+  int from = 0;  ///< index into the sibling vector
+  int to = 0;
+  DepKind kind = DepKind::Flow;
+  long long bytes = 0;  ///< communication payload if the edge is cut
+  std::vector<std::string> vars;
+};
+
+/// Dependences among `siblings` (in program order, within function `fn`;
+/// pass nullptr for global scope).
+std::vector<DepEdge> computeSiblingDeps(const std::vector<const frontend::Stmt*>& siblings,
+                                        const DefUseAnalysis& du,
+                                        const frontend::Function* fn);
+
+/// Flows crossing the region boundary.
+struct RegionFlow {
+  /// inbound[i]: variables sibling i consumes that no earlier sibling
+  /// produced (they arrive through the region's Communication-In node).
+  std::vector<std::map<std::string, long long>> inbound;
+  /// outbound[i]: variables sibling i produces with no later sibling
+  /// overwriting them (they leave through the Communication-Out node).
+  std::vector<std::map<std::string, long long>> outbound;
+};
+
+RegionFlow computeRegionFlow(const std::vector<const frontend::Stmt*>& siblings,
+                             const DefUseAnalysis& du, const frontend::Function* fn);
+
+}  // namespace hetpar::ir

@@ -1,0 +1,43 @@
+// Loop parallelism classification.
+//
+// The paper's HTG reconsiders code "on different granularity levels like
+// instructions, loop iterations, or functions". To parallelize on the
+// *loop iteration* level, the tool must know whether a counted loop's
+// iterations are independent (DOALL) apart from recognized reductions.
+//
+// The test is deliberately conservative and classic:
+//   * every array that is written in the body must be accessed only through
+//     subscripts whose relevant dimension is exactly the loop induction
+//     variable (so iterations touch disjoint elements);
+//   * scalars written in the body must be either privatizable (defined
+//     before use in every iteration, e.g. temporaries) or recognized
+//     reductions (`s = s + e` / `s = s - e` / `s = s * e` with no other use);
+//   * the loop must be in canonical counted form with unit step.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "hetpar/frontend/ast.hpp"
+#include "hetpar/ir/defuse.hpp"
+
+namespace hetpar::ir {
+
+struct LoopParallelism {
+  bool isDoall = false;
+  /// Scalars accumulated via a reduction pattern (parallelizable with a
+  /// cheap merge step).
+  std::set<std::string> reductions;
+  /// Scalars that are written before read each iteration (each task gets a
+  /// private copy).
+  std::set<std::string> privatizable;
+  /// Human-readable reason when isDoall is false.
+  std::string reason;
+};
+
+/// Classifies `loop` (which must have been through sema). `du` supplies
+/// def/use sets; `fn` is the enclosing function (for name lookup).
+LoopParallelism analyzeLoop(const frontend::ForStmt& loop, const DefUseAnalysis& du,
+                            const frontend::Function* fn);
+
+}  // namespace hetpar::ir

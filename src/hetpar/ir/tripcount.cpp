@@ -1,0 +1,126 @@
+#include "hetpar/ir/tripcount.hpp"
+
+#include <string>
+
+namespace hetpar::ir {
+
+using frontend::AssignStmt;
+using frontend::BinaryExpr;
+using frontend::BinaryOp;
+using frontend::DeclStmt;
+using frontend::Expr;
+using frontend::ExprKind;
+using frontend::ForStmt;
+using frontend::StmtKind;
+using frontend::UnaryExpr;
+using frontend::UnaryOp;
+using frontend::VarRef;
+
+std::optional<long long> evalConstInt(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::IntLit:
+      return static_cast<const frontend::IntLit&>(expr).value;
+    case ExprKind::Unary: {
+      const auto& e = static_cast<const UnaryExpr&>(expr);
+      if (e.op != UnaryOp::Neg) return std::nullopt;
+      auto v = evalConstInt(*e.operand);
+      if (!v) return std::nullopt;
+      return -*v;
+    }
+    case ExprKind::Binary: {
+      const auto& e = static_cast<const BinaryExpr&>(expr);
+      auto l = evalConstInt(*e.lhs);
+      auto r = evalConstInt(*e.rhs);
+      if (!l || !r) return std::nullopt;
+      switch (e.op) {
+        case BinaryOp::Add: return *l + *r;
+        case BinaryOp::Sub: return *l - *r;
+        case BinaryOp::Mul: return *l * *r;
+        case BinaryOp::Div: return *r == 0 ? std::nullopt : std::optional<long long>(*l / *r);
+        case BinaryOp::Mod: return *r == 0 ? std::nullopt : std::optional<long long>(*l % *r);
+        default: return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+namespace {
+
+/// Extracts (variable, start) from the loop init statement.
+std::optional<std::pair<std::string, long long>> initOf(const ForStmt& loop) {
+  if (!loop.init) return std::nullopt;
+  if (loop.init->kind == StmtKind::Decl) {
+    const auto& d = static_cast<const DeclStmt&>(*loop.init);
+    if (!d.init) return std::nullopt;
+    auto v = evalConstInt(*d.init);
+    if (!v) return std::nullopt;
+    return std::make_pair(d.name, *v);
+  }
+  if (loop.init->kind == StmtKind::Assign) {
+    const auto& a = static_cast<const AssignStmt&>(*loop.init);
+    if (!a.indices.empty()) return std::nullopt;
+    auto v = evalConstInt(*a.value);
+    if (!v) return std::nullopt;
+    return std::make_pair(a.target, *v);
+  }
+  return std::nullopt;
+}
+
+/// Extracts the step `i = i (+|-) c` for variable `var`.
+std::optional<long long> stepOf(const ForStmt& loop, const std::string& var) {
+  if (!loop.step || loop.step->kind != StmtKind::Assign) return std::nullopt;
+  const auto& a = static_cast<const AssignStmt&>(*loop.step);
+  if (a.target != var || !a.indices.empty()) return std::nullopt;
+  if (a.value->kind != ExprKind::Binary) return std::nullopt;
+  const auto& b = static_cast<const BinaryExpr&>(*a.value);
+  if (b.lhs->kind != ExprKind::VarRef ||
+      static_cast<const VarRef&>(*b.lhs).name != var)
+    return std::nullopt;
+  auto c = evalConstInt(*b.rhs);
+  if (!c) return std::nullopt;
+  if (b.op == BinaryOp::Add) return *c;
+  if (b.op == BinaryOp::Sub) return -*c;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<long long> staticTripCount(const ForStmt& loop) {
+  auto init = initOf(loop);
+  if (!init || !loop.cond) return std::nullopt;
+  const auto& [var, start] = *init;
+  auto step = stepOf(loop, var);
+  if (!step || *step == 0) return std::nullopt;
+
+  if (loop.cond->kind != ExprKind::Binary) return std::nullopt;
+  const auto& cond = static_cast<const BinaryExpr&>(*loop.cond);
+  if (cond.lhs->kind != ExprKind::VarRef ||
+      static_cast<const VarRef&>(*cond.lhs).name != var)
+    return std::nullopt;
+  auto boundOpt = evalConstInt(*cond.rhs);
+  if (!boundOpt) return std::nullopt;
+  long long bound = *boundOpt;
+
+  // Normalize to `i < bound` / `i > bound` exclusive forms.
+  switch (cond.op) {
+    case BinaryOp::Lt: break;
+    case BinaryOp::Le: bound += 1; break;
+    case BinaryOp::Gt: break;
+    case BinaryOp::Ge: bound -= 1; break;
+    default: return std::nullopt;
+  }
+
+  if ((cond.op == BinaryOp::Lt || cond.op == BinaryOp::Le)) {
+    if (*step <= 0) return std::nullopt;  // non-terminating or backwards
+    if (start >= bound) return 0;
+    return (bound - start + *step - 1) / *step;
+  }
+  // Decreasing loops: `i > bound` with negative step.
+  if (*step >= 0) return std::nullopt;
+  if (start <= bound) return 0;
+  return (start - bound + (-*step) - 1) / (-*step);
+}
+
+}  // namespace hetpar::ir

@@ -1,0 +1,23 @@
+// Static trip-count analysis for canonical counted loops.
+//
+// The interpreter-based profiler provides exact execution counts; this
+// static analysis is the fallback for code paths that profiling did not
+// reach and is used for HTG iteration-count annotations (paper: leaves are
+// "annotated with iteration counts").
+#pragma once
+
+#include <optional>
+
+#include "hetpar/frontend/ast.hpp"
+
+namespace hetpar::ir {
+
+/// Trip count of `for (i = c0; i REL c1; i = i +/- c2) ...` with integer
+/// literal constants; nullopt when the loop is not in that canonical shape.
+std::optional<long long> staticTripCount(const frontend::ForStmt& loop);
+
+/// Evaluates an integer-constant expression (literals and + - * / % of
+/// them); nullopt if the expression involves variables or floats.
+std::optional<long long> evalConstInt(const frontend::Expr& expr);
+
+}  // namespace hetpar::ir

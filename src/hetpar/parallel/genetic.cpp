@@ -1,0 +1,288 @@
+#include "hetpar/parallel/genetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "hetpar/support/error.hpp"
+#include "hetpar/support/rng.hpp"
+
+namespace hetpar::parallel {
+
+namespace {
+
+constexpr double kInfeasible = std::numeric_limits<double>::infinity();
+
+struct Chromosome {
+  std::vector<int> childTask;      ///< per child, monotone non-decreasing
+  std::vector<ClassId> taskClass;  ///< per task; [0] = seqPC
+  std::vector<int> childPick;      ///< candidate index within the task's class menu
+  double fitness = kInfeasible;
+};
+
+class Ga {
+ public:
+  Ga(const IlpRegion& region, const GaOptions& options)
+      : region_(region), options_(options), rng_(options.seed) {
+    N_ = static_cast<int>(region.children.size());
+    C_ = static_cast<int>(region.numProcsPerClass.size());
+    T_ = std::max(1, std::min(region.maxTasks, N_));
+  }
+
+  IlpParResult run() {
+    std::vector<Chromosome> population(static_cast<std::size_t>(options_.populationSize));
+    for (auto& c : population) c = randomChromosome();
+    evaluateAll(population);
+
+    for (int gen = 0; gen < options_.generations; ++gen) {
+      std::vector<Chromosome> next;
+      next.reserve(population.size());
+      // Elitism: carry the best chromosome over unchanged.
+      next.push_back(best(population));
+      while (next.size() < population.size()) {
+        Chromosome child = rng_.chance(options_.crossoverRate)
+                               ? crossover(tournament(population), tournament(population))
+                               : tournament(population);
+        mutate(child);
+        repair(child);
+        child.fitness = evaluateAssignment(region_, child.childTask, child.taskClass,
+                                           child.childPick);
+        next.push_back(std::move(child));
+      }
+      population = std::move(next);
+    }
+
+    const Chromosome& winner = best(population);
+    IlpParResult result;
+    result.provenOptimal = false;
+    if (!std::isfinite(winner.fitness)) return result;
+    result.feasible = true;
+    result.timeSeconds = winner.fitness;
+    result.childTask = winner.childTask;
+    // Trim unused trailing tasks.
+    int usedTasks = 1;
+    for (int t : winner.childTask) usedTasks = std::max(usedTasks, t + 1);
+    result.taskClass.assign(winner.taskClass.begin(), winner.taskClass.begin() + usedTasks);
+    result.childChoice.resize(static_cast<std::size_t>(N_));
+    for (int n = 0; n < N_; ++n) {
+      const ClassId cls = result.taskClass[static_cast<std::size_t>(
+          winner.childTask[static_cast<std::size_t>(n)])];
+      result.childChoice[static_cast<std::size_t>(n)] = {
+          cls, winner.childPick[static_cast<std::size_t>(n)]};
+    }
+    return result;
+  }
+
+ private:
+  Chromosome randomChromosome() {
+    Chromosome c;
+    c.childTask.resize(static_cast<std::size_t>(N_));
+    for (int n = 0; n < N_; ++n)
+      c.childTask[static_cast<std::size_t>(n)] = static_cast<int>(rng_.below(static_cast<std::uint64_t>(T_)));
+    c.taskClass.resize(static_cast<std::size_t>(T_));
+    c.taskClass[0] = region_.seqPC;
+    for (int t = 1; t < T_; ++t)
+      c.taskClass[static_cast<std::size_t>(t)] =
+          static_cast<ClassId>(rng_.below(static_cast<std::uint64_t>(C_)));
+    c.childPick.assign(static_cast<std::size_t>(N_), 0);
+    repair(c);
+    // Random (valid) candidate picks.
+    for (int n = 0; n < N_; ++n) {
+      const ClassId cls = c.taskClass[static_cast<std::size_t>(c.childTask[static_cast<std::size_t>(n)])];
+      const auto& menu = region_.children[static_cast<std::size_t>(n)]
+                             .byClass[static_cast<std::size_t>(cls)];
+      c.childPick[static_cast<std::size_t>(n)] =
+          static_cast<int>(rng_.below(static_cast<std::uint64_t>(menu.size())));
+    }
+    return c;
+  }
+
+  void evaluateAll(std::vector<Chromosome>& population) {
+    for (auto& c : population)
+      c.fitness = evaluateAssignment(region_, c.childTask, c.taskClass, c.childPick);
+  }
+
+  const Chromosome& best(const std::vector<Chromosome>& population) {
+    const Chromosome* b = &population.front();
+    for (const auto& c : population)
+      if (c.fitness < b->fitness) b = &c;
+    return *b;
+  }
+
+  Chromosome tournament(const std::vector<Chromosome>& population) {
+    const Chromosome* b = nullptr;
+    for (int k = 0; k < options_.tournamentSize; ++k) {
+      const Chromosome& c =
+          population[rng_.below(static_cast<std::uint64_t>(population.size()))];
+      if (b == nullptr || c.fitness < b->fitness) b = &c;
+    }
+    return *b;
+  }
+
+  Chromosome crossover(Chromosome a, const Chromosome& b) {
+    const std::size_t cut = rng_.below(static_cast<std::uint64_t>(N_ + 1));
+    for (std::size_t n = cut; n < static_cast<std::size_t>(N_); ++n) {
+      a.childTask[n] = b.childTask[n];
+      a.childPick[n] = b.childPick[n];
+    }
+    for (int t = 1; t < T_; ++t)
+      if (rng_.chance(0.5)) a.taskClass[static_cast<std::size_t>(t)] = b.taskClass[static_cast<std::size_t>(t)];
+    return a;
+  }
+
+  void mutate(Chromosome& c) {
+    for (int n = 0; n < N_; ++n)
+      if (rng_.chance(options_.mutationRate))
+        c.childTask[static_cast<std::size_t>(n)] =
+            static_cast<int>(rng_.below(static_cast<std::uint64_t>(T_)));
+    for (int t = 1; t < T_; ++t)
+      if (rng_.chance(options_.mutationRate))
+        c.taskClass[static_cast<std::size_t>(t)] =
+            static_cast<ClassId>(rng_.below(static_cast<std::uint64_t>(C_)));
+    for (int n = 0; n < N_; ++n)
+      if (rng_.chance(options_.mutationRate / 2)) c.childPick[static_cast<std::size_t>(n)] = -1;
+  }
+
+  /// Restores the chromosome's invariants: monotone task ids (Eq 10's
+  /// cycle-freedom, enforced structurally here), task 0 on seqPC, and picks
+  /// within the hosting class's menu.
+  void repair(Chromosome& c) {
+    int prev = 0;
+    for (int n = 0; n < N_; ++n) {
+      auto& t = c.childTask[static_cast<std::size_t>(n)];
+      t = std::clamp(t, prev, T_ - 1);
+      prev = t;
+    }
+    c.taskClass[0] = region_.seqPC;
+    for (int n = 0; n < N_; ++n) {
+      const ClassId cls = c.taskClass[static_cast<std::size_t>(c.childTask[static_cast<std::size_t>(n)])];
+      const auto& menu = region_.children[static_cast<std::size_t>(n)]
+                             .byClass[static_cast<std::size_t>(cls)];
+      auto& pick = c.childPick[static_cast<std::size_t>(n)];
+      if (pick < 0 || pick >= static_cast<int>(menu.size()))
+        pick = static_cast<int>(rng_.below(static_cast<std::uint64_t>(menu.size())));
+    }
+  }
+
+  const IlpRegion& region_;
+  GaOptions options_;
+  Rng rng_;
+  int N_ = 0;
+  int C_ = 0;
+  int T_ = 0;
+};
+
+}  // namespace
+
+double evaluateAssignment(const IlpRegion& region, const std::vector<int>& childTask,
+                          const std::vector<ClassId>& taskClass,
+                          const std::vector<int>& childPick) {
+  const int N = static_cast<int>(region.children.size());
+  const int C = static_cast<int>(region.numProcsPerClass.size());
+  HETPAR_CHECK(static_cast<int>(childTask.size()) == N);
+  HETPAR_CHECK(static_cast<int>(childPick.size()) == N);
+  if (taskClass.empty() || taskClass[0] != region.seqPC) return kInfeasible;
+
+  int T = 1;
+  for (int t : childTask) {
+    if (t < 0 || t >= static_cast<int>(taskClass.size())) return kInfeasible;
+    T = std::max(T, t + 1);
+  }
+
+  // Monotone task ids (cycle freedom, Eq 10).
+  for (int n = 0; n + 1 < N; ++n)
+    if (childTask[static_cast<std::size_t>(n + 1)] < childTask[static_cast<std::size_t>(n)])
+      return kInfeasible;
+
+  // Gather the chosen candidates; class consistency (Eq 17-18) is enforced
+  // by indexing the menus through the hosting task's class.
+  std::vector<const IlpCandidate*> chosen(static_cast<std::size_t>(N), nullptr);
+  for (int n = 0; n < N; ++n) {
+    const ClassId cls = taskClass[static_cast<std::size_t>(childTask[static_cast<std::size_t>(n)])];
+    if (cls < 0 || cls >= C) return kInfeasible;
+    const auto& menu =
+        region.children[static_cast<std::size_t>(n)].byClass[static_cast<std::size_t>(cls)];
+    const int pick = childPick[static_cast<std::size_t>(n)];
+    if (pick < 0 || pick >= static_cast<int>(menu.size())) return kInfeasible;
+    chosen[static_cast<std::size_t>(n)] = &menu[static_cast<std::size_t>(pick)];
+  }
+
+  // Processor budgets (Eq 14-16): per-task nested footprint is the per-class
+  // maximum over its children; each used task beyond the main consumes one
+  // unit of its own class.
+  std::vector<int> allocated(static_cast<std::size_t>(C), 0);
+  allocated[static_cast<std::size_t>(region.seqPC)] += 1;
+  std::vector<bool> taskUsed(static_cast<std::size_t>(T), false);
+  taskUsed[0] = true;
+  for (int n = 0; n < N; ++n) taskUsed[static_cast<std::size_t>(childTask[static_cast<std::size_t>(n)])] = true;
+  int totalProcs = 0;
+  for (int t = 1; t < T; ++t)
+    if (taskUsed[static_cast<std::size_t>(t)])
+      allocated[static_cast<std::size_t>(taskClass[static_cast<std::size_t>(t)])] += 1;
+  std::vector<std::vector<int>> nested(static_cast<std::size_t>(T),
+                                       std::vector<int>(static_cast<std::size_t>(C), 0));
+  for (int n = 0; n < N; ++n) {
+    const int t = childTask[static_cast<std::size_t>(n)];
+    for (int c = 0; c < C && c < static_cast<int>(chosen[static_cast<std::size_t>(n)]->extraProcs.size()); ++c)
+      nested[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)] =
+          std::max(nested[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)],
+                   chosen[static_cast<std::size_t>(n)]->extraProcs[static_cast<std::size_t>(c)]);
+  }
+  for (int t = 0; t < T; ++t)
+    for (int c = 0; c < C; ++c)
+      allocated[static_cast<std::size_t>(c)] += nested[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)];
+  for (int c = 0; c < C; ++c) {
+    totalProcs += allocated[static_cast<std::size_t>(c)];
+    if (allocated[static_cast<std::size_t>(c)] > region.numProcsPerClass[static_cast<std::size_t>(c)])
+      return kInfeasible;
+  }
+  if (totalProcs > region.maxProcs) return kInfeasible;
+
+  // Cost model mirroring the ILP: per-task execution cost (Eq 8) plus
+  // communication charges, accumulated along predecessor paths (Eq 9).
+  std::vector<double> cost(static_cast<std::size_t>(T), 0.0);
+  for (int t = 1; t < T; ++t)
+    if (taskUsed[static_cast<std::size_t>(t)]) cost[static_cast<std::size_t>(t)] += region.taskCreationSeconds;
+  for (int n = 0; n < N; ++n)
+    cost[static_cast<std::size_t>(childTask[static_cast<std::size_t>(n)])] +=
+        chosen[static_cast<std::size_t>(n)]->timeSeconds;
+
+  std::vector<std::vector<bool>> pred(static_cast<std::size_t>(T),
+                                      std::vector<bool>(static_cast<std::size_t>(T), false));
+  for (const IlpEdgeSpec& e : region.edges) {
+    if (e.from >= 0 && e.to < N) {
+      const int tf = childTask[static_cast<std::size_t>(e.from)];
+      const int tt = childTask[static_cast<std::size_t>(e.to)];
+      if (tf != tt) {
+        pred[static_cast<std::size_t>(tf)][static_cast<std::size_t>(tt)] = true;
+        if (!e.orderingOnly) cost[static_cast<std::size_t>(tt)] += e.commSeconds;
+      }
+    } else if (e.from < 0 && e.to < N) {
+      const int tt = childTask[static_cast<std::size_t>(e.to)];
+      if (tt != 0 && !e.orderingOnly) cost[static_cast<std::size_t>(tt)] += e.commSeconds;
+    } else if (e.from >= 0 && e.to >= N) {
+      const int tf = childTask[static_cast<std::size_t>(e.from)];
+      if (tf != 0 && !e.orderingOnly) cost[static_cast<std::size_t>(tf)] += e.commSeconds;
+    }
+  }
+
+  // Longest path over the (forward-only) task DAG.
+  std::vector<double> accum(static_cast<std::size_t>(T), 0.0);
+  double makespan = 0.0;
+  for (int t = 0; t < T; ++t) {
+    double best = 0.0;
+    for (int u = 0; u < t; ++u)
+      if (pred[static_cast<std::size_t>(u)][static_cast<std::size_t>(t)])
+        best = std::max(best, accum[static_cast<std::size_t>(u)]);
+    accum[static_cast<std::size_t>(t)] = best + cost[static_cast<std::size_t>(t)];
+    makespan = std::max(makespan, accum[static_cast<std::size_t>(t)]);
+  }
+  return makespan;
+}
+
+IlpParResult solveGaPar(const IlpRegion& region, const GaOptions& options) {
+  require<SolverError>(!region.children.empty(), "GA needs at least one child");
+  return Ga(region, options).run();
+}
+
+}  // namespace hetpar::parallel

@@ -1,0 +1,44 @@
+// Genetic-algorithm partitioner (paper reference [7], the authors' earlier
+// DATE 2012 technique; Section II/IV contrast it with the ILP approach:
+// "ILP solvers guarantee to find the optimal solution if one exists ...
+// This is not the case for other optimization techniques like, e.g.,
+// Genetic Algorithms which just iterate until a given stopping criterion
+// is met").
+//
+// solveGaPar optimizes the *same* IlpRegion problem the ILPPAR model solves
+// (same candidate menus, edges, cost semantics) so the two optimizers are
+// directly comparable; bench/ablation_optimizer pits them against each
+// other on solution quality and runtime.
+#pragma once
+
+#include <cstdint>
+
+#include "hetpar/parallel/ilppar_model.hpp"
+
+namespace hetpar::parallel {
+
+struct GaOptions {
+  int populationSize = 64;
+  int generations = 120;
+  double crossoverRate = 0.8;
+  double mutationRate = 0.15;
+  int tournamentSize = 3;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Runs the GA; the result mirrors solveIlpPar's (provenOptimal is always
+/// false — a GA cannot certify optimality). Infeasible chromosomes are
+/// repaired (monotone task ids) or penalized (processor budgets), matching
+/// the usual GA treatment in [7].
+IlpParResult solveGaPar(const IlpRegion& region, const GaOptions& options = {});
+
+/// Evaluates one explicit assignment with the shared cost model; exposed so
+/// tests can cross-validate GA fitness against ILP objective values.
+/// `childTask` maps children to tasks (task ids in [0, maxTasks)), and
+/// `taskClass` maps tasks to classes (task 0 must be region.seqPC).
+/// Returns +inf for budget-infeasible assignments.
+double evaluateAssignment(const IlpRegion& region, const std::vector<int>& childTask,
+                          const std::vector<ClassId>& taskClass,
+                          const std::vector<int>& childPick);
+
+}  // namespace hetpar::parallel

@@ -1,0 +1,23 @@
+#include "hetpar/parallel/homogeneous.hpp"
+
+namespace hetpar::parallel {
+
+platform::Platform homogeneousView(const platform::Platform& real, ClassId assumedClass) {
+  const platform::ProcessorClass& assumed = real.classAt(assumedClass);
+  platform::ProcessorClass uniform = assumed;
+  uniform.name = "uniform";
+  uniform.count = real.numCores();
+  return platform::Platform(real.name() + "_homog_view", {uniform}, real.interconnect(),
+                            real.taskCreationOverheadSeconds());
+}
+
+HomogeneousRun runHomogeneousBaseline(const htg::Graph& graph, const platform::Platform& real,
+                                      ClassId assumedClass, ParallelizerOptions options) {
+  HomogeneousRun run{homogeneousView(real, assumedClass), {}};
+  const cost::TimingModel timing(run.view);
+  Parallelizer parallelizer(graph, timing, options);
+  run.outcome = parallelizer.run();
+  return run;
+}
+
+}  // namespace hetpar::parallel

@@ -1,0 +1,30 @@
+// The homogeneous baseline (paper reference [6], CODES+ISSS 2010).
+//
+// The baseline tool is heterogeneity-oblivious: it models the platform as
+// `numCores` identical processors running at the main core's speed, then
+// balances tasks uniformly. On a heterogeneous machine its tasks are placed
+// round-robin onto the real cores by the evaluation harness, so faster cores
+// idle waiting for slower ones — exactly the effect the paper's Figures 7(b)
+// and 8(b) show (speedups below 1x).
+#pragma once
+
+#include "hetpar/parallel/parallelizer.hpp"
+
+namespace hetpar::parallel {
+
+/// The platform as the homogeneous tool perceives it: one class, all
+/// `real.numCores()` units, clocked like `assumedClass`.
+platform::Platform homogeneousView(const platform::Platform& real, ClassId assumedClass);
+
+/// Runs the baseline: Algorithm 1 over the homogeneous view. The returned
+/// solutions reference class 0 of the *view*; scheduling onto the real
+/// platform is the flattener's job (round-robin, heterogeneity-unaware).
+struct HomogeneousRun {
+  platform::Platform view;   ///< keep alive: solutions refer to its class ids
+  ParallelizeOutcome outcome;
+};
+
+HomogeneousRun runHomogeneousBaseline(const htg::Graph& graph, const platform::Platform& real,
+                                      ClassId assumedClass, ParallelizerOptions options = {});
+
+}  // namespace hetpar::parallel

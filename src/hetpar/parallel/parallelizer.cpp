@@ -1,0 +1,417 @@
+#include "hetpar/parallel/parallelizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hetpar/support/error.hpp"
+#include "hetpar/support/log.hpp"
+#include "hetpar/support/strings.hpp"
+
+namespace hetpar::parallel {
+
+using htg::Node;
+using htg::NodeId;
+
+SolutionRef ParallelizeOutcome::bestRoot(const htg::Graph& g, ClassId mainClass) const {
+  auto it = table.find(g.root());
+  require(it != table.end(), "parallelizer has not produced a root parallel set");
+  const int idx = it->second.bestFor(mainClass);
+  require(idx >= 0, "no root solution for the requested main class");
+  return SolutionRef{g.root(), idx};
+}
+
+Parallelizer::Parallelizer(const htg::Graph& graph, const cost::TimingModel& timing,
+                           ParallelizerOptions options)
+    : graph_(graph), timing_(timing), options_(options) {}
+
+ParallelizeOutcome Parallelizer::run() {
+  ParallelizeOutcome out;
+  parallelizeNode(graph_.root(), out);
+  return out;
+}
+
+double Parallelizer::sequentialSeconds(NodeId id, ClassId c, const SolutionTable& table) const {
+  // Equivalent to the node's Sequential candidate; kept as a direct
+  // computation so callers can query before the set exists.
+  const Node& n = graph_.node(id);
+  double seconds = timing_.seconds(c, n.mixPerExec);
+  if (n.isHierarchical()) {
+    for (NodeId childId : n.children) {
+      const Node& child = graph_.node(childId);
+      const double ratio = n.execCount > 0 ? child.execCount / n.execCount : 0.0;
+      auto it = table.find(childId);
+      HETPAR_CHECK_MSG(it != table.end(), "child parallel set missing (bottom-up order broken)");
+      const int seq = it->second.sequentialFor(c);
+      HETPAR_CHECK(seq >= 0);
+      seconds += ratio * it->second.at(seq).timeSeconds;
+    }
+  }
+  return seconds;
+}
+
+void Parallelizer::addSequentialCandidates(NodeId id, const SolutionTable& table,
+                                           ParallelSet& set) {
+  const int C = timing_.platform().numClasses();
+  for (ClassId c = 0; c < C; ++c) {
+    SolutionCandidate cand;
+    cand.kind = SolutionKind::Sequential;
+    cand.mainClass = c;
+    cand.timeSeconds = sequentialSeconds(id, c, table);
+    cand.extraProcs.assign(static_cast<std::size_t>(C), 0);
+    cand.taskClass = {c};
+    set.add(std::move(cand));
+  }
+}
+
+void Parallelizer::parallelizeNode(NodeId id, ParallelizeOutcome& out) {
+  const Node& node = graph_.node(id);
+
+  // "Parallelize bottom-up in hierarchy, first."
+  if (node.isHierarchical())
+    for (NodeId child : node.children) parallelizeNode(child, out);
+
+  ParallelSet set;
+  addSequentialCandidates(id, out.table, set);
+
+  const platform::Platform& pf = timing_.platform();
+  const int numCores = pf.numCores();
+  const bool worthIt =
+      node.isHierarchical() &&
+      sequentialSeconds(id, pf.fastestClass(), out.table) >=
+          options_.minRegionTcoMultiple * timing_.taskCreationSeconds() &&
+      node.execCount > 0;
+
+  if (worthIt) {
+    ilp::SolveOptions solveOpts;
+    solveOpts.timeLimitSeconds = options_.ilpTimeLimitSeconds;
+    solveOpts.maxNodes = options_.ilpMaxNodes;
+    ilp::BranchAndBoundSolver solver(solveOpts);
+
+    struct Mode {
+      SolutionKind kind;
+      bool enabled;
+    };
+    const bool canTaskParallel = node.children.size() >= 2;
+    const bool canChunk = options_.enableChunking && node.kind == htg::NodeKind::Loop &&
+                          node.doall && node.iterationsPerExec >= 2.0;
+    const Mode modes[] = {{SolutionKind::TaskParallel, canTaskParallel},
+                          {SolutionKind::LoopChunked, canChunk}};
+
+    // Algorithm 1's shrinking processor budget exists to hand the *parent*
+    // level solutions with fewer allocated units to combine; the root node
+    // has no parent, so only the full-budget candidate can ever be chosen.
+    const bool isRoot = id == graph_.root();
+
+    for (const Mode& mode : modes) {
+      if (!mode.enabled) continue;
+      for (ClassId seqPC = 0; seqPC < pf.numClasses(); ++seqPC) {
+        int budget = numCores;
+        while (budget > 1) {
+          SolutionCandidate cand;
+          bool feasible = false;
+          // Pruning bound: something at least as good as the best known
+          // candidate for this class must exist (the sequential candidate
+          // guarantees one).
+          const int bestSoFar = set.bestFor(seqPC);
+          double upperBound = bestSoFar >= 0 ? set.at(bestSoFar).timeSeconds : 0.0;
+          if (mode.kind == SolutionKind::TaskParallel) {
+            IlpRegion region = buildTaskRegion(id, out.table, seqPC, budget);
+            // The greedy all-in-main assignment is always feasible: it
+            // seeds the ILP's upper bound and doubles as a fallback
+            // candidate when the solver hits its limits first.
+            SolutionCandidate greedy = greedyAllInMain(region);
+            if (greedy.timeSeconds > 0 &&
+                (upperBound <= 0 || greedy.timeSeconds * 1.02 < upperBound))
+              upperBound = greedy.timeSeconds * 1.02;
+            region.upperBoundSeconds = upperBound;
+            const IlpParResult r = solveIlpPar(region, solver);
+            out.stats.absorb(r.stats);
+            feasible = r.feasible;
+            if (feasible) cand = decodeTaskParallel(node, region, r);
+            if (greedy.timeSeconds > 0 && greedy.totalProcs() > 1 &&
+                (!feasible || greedy.timeSeconds < cand.timeSeconds))
+              set.add(greedy);
+          } else {
+            ChunkRegion region = buildChunkRegion(id, out.table, seqPC, budget);
+            region.upperBoundSeconds = upperBound;
+            const ChunkResult r = solveChunkIlp(region, solver);
+            out.stats.absorb(r.stats);
+            feasible = r.feasible;
+            if (feasible) cand = decodeChunked(node, r, seqPC);
+          }
+          if (!feasible) break;
+          const int procs = cand.totalProcs();
+          if (procs > 1) set.add(std::move(cand));
+          if (isRoot) break;
+          // Algorithm 1: i <- NUMBEROFTASKS(r) - 1, strictly decreasing.
+          budget = std::min(budget - 1, procs - 1);
+        }
+      }
+    }
+  }
+
+  set.pruneDominated();
+  set.capPerClass(options_.maxCandidatesPerClass);
+  out.table.emplace(id, std::move(set));
+}
+
+SolutionCandidate Parallelizer::greedyAllInMain(const IlpRegion& region) const {
+  // Convert the bound-producing assignment into a real candidate: one task
+  // (the main one), every child on it with the greedily chosen nested
+  // candidate. Always valid, so it doubles as a fallback when the ILP hits
+  // its limits before reproducing it.
+  const int C = static_cast<int>(region.numProcsPerClass.size());
+  SolutionCandidate cand;
+  cand.kind = SolutionKind::TaskParallel;
+  cand.mainClass = region.seqPC;
+  cand.taskClass = {region.seqPC};
+  cand.extraProcs.assign(static_cast<std::size_t>(C), 0);
+  cand.childTask.assign(region.children.size(), 0);
+  cand.childChoice.resize(region.children.size());
+  cand.timeSeconds = 0.0;  // the main task pays no creation overhead
+
+  struct Option {
+    const IlpCandidate* seq = nullptr;
+    const IlpCandidate* best = nullptr;
+  };
+  std::vector<Option> options(region.children.size());
+  for (std::size_t n = 0; n < region.children.size(); ++n) {
+    for (const IlpCandidate& c :
+         region.children[n].byClass[static_cast<std::size_t>(region.seqPC)]) {
+      int extra = 0;
+      for (int e : c.extraProcs) extra += e;
+      if (extra == 0 &&
+          (options[n].seq == nullptr || c.timeSeconds < options[n].seq->timeSeconds))
+        options[n].seq = &c;
+      if (options[n].best == nullptr || c.timeSeconds < options[n].best->timeSeconds)
+        options[n].best = &c;
+    }
+    if (options[n].seq == nullptr) {
+      cand.timeSeconds = 0.0;  // signals "no valid greedy candidate"
+      return cand;
+    }
+  }
+
+  std::vector<std::size_t> order(options.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double sa = options[a].seq->timeSeconds - options[a].best->timeSeconds;
+    const double sb = options[b].seq->timeSeconds - options[b].best->timeSeconds;
+    return sa > sb;
+  });
+
+  std::vector<int> classMax(static_cast<std::size_t>(C), 0);
+  std::vector<const IlpCandidate*> chosen(options.size(), nullptr);
+  for (std::size_t i = 0; i < options.size(); ++i) chosen[i] = options[i].seq;
+  for (std::size_t i : order) {
+    const IlpCandidate* best = options[i].best;
+    if (best == options[i].seq) continue;
+    std::vector<int> trial = classMax;
+    for (int c = 0; c < C && c < static_cast<int>(best->extraProcs.size()); ++c)
+      trial[static_cast<std::size_t>(c)] = std::max(
+          trial[static_cast<std::size_t>(c)], best->extraProcs[static_cast<std::size_t>(c)]);
+    int total = 1;
+    bool fits = true;
+    for (int c = 0; c < C; ++c) {
+      total += trial[static_cast<std::size_t>(c)];
+      const int available = region.numProcsPerClass[static_cast<std::size_t>(c)] -
+                            (c == region.seqPC ? 1 : 0);
+      fits = fits && trial[static_cast<std::size_t>(c)] <= available;
+    }
+    if (!fits || total > region.maxProcs) continue;
+    classMax = std::move(trial);
+    chosen[i] = best;
+  }
+  for (std::size_t n = 0; n < options.size(); ++n) {
+    cand.timeSeconds += chosen[n]->timeSeconds;
+    cand.childChoice[n] = chosen[n]->ref;
+  }
+  cand.extraProcs.assign(classMax.begin(), classMax.end());
+  return cand;
+}
+
+double Parallelizer::allInMainBound(const IlpRegion& region) const {
+  const SolutionCandidate greedy = greedyAllInMain(region);
+  if (greedy.timeSeconds <= 0) return 0.0;
+  // Leave a little slack above the heuristic value so the solver has room
+  // to *reach* the bound-achieving corner without tolerance trouble.
+  return greedy.timeSeconds * 1.02;
+}
+
+IlpRegion Parallelizer::buildTaskRegion(NodeId id, const SolutionTable& table, ClassId seqPC,
+                                        int maxProcs) const {
+  const Node& node = graph_.node(id);
+  const platform::Platform& pf = timing_.platform();
+  const int C = pf.numClasses();
+
+  IlpRegion region;
+  region.name = strings::format("n%d_pc%d_b%d", id, seqPC, maxProcs);
+  region.seqPC = seqPC;
+  region.maxProcs = maxProcs;
+  region.maxTasks = std::min({options_.maxTasksPerRegion, maxProcs,
+                              static_cast<int>(node.children.size())});
+  region.taskCreationSeconds = timing_.taskCreationSeconds();
+  for (ClassId c = 0; c < C; ++c)
+    region.numProcsPerClass.push_back(pf.classAt(c).count);
+
+  // Children with their iteration-scaled candidate menus.
+  std::map<NodeId, int> childIndex;
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    const NodeId childId = node.children[i];
+    childIndex[childId] = static_cast<int>(i);
+    const Node& child = graph_.node(childId);
+    const double ratio = node.execCount > 0 ? child.execCount / node.execCount : 0.0;
+
+    IlpChild ic;
+    ic.label = child.label;
+    ic.byClass.resize(static_cast<std::size_t>(C));
+    const ParallelSet& childSet = table.at(childId);
+    for (ClassId c = 0; c < C; ++c) {
+      for (int idx : childSet.forClass(c)) {
+        const SolutionCandidate& cand = childSet.at(idx);
+        if (!options_.enableParallelSetMapping && cand.kind != SolutionKind::Sequential)
+          continue;
+        IlpCandidate entry;
+        entry.timeSeconds = ratio * cand.timeSeconds;
+        entry.extraProcs = cand.extraProcs;
+        entry.ref = SolutionRef{childId, idx};
+        ic.byClass[static_cast<std::size_t>(c)].push_back(std::move(entry));
+      }
+      HETPAR_CHECK_MSG(!ic.byClass[static_cast<std::size_t>(c)].empty(),
+                       "parallel set lost its per-class sequential candidate");
+    }
+    region.children.push_back(std::move(ic));
+  }
+
+  // Edges: per-iteration synchronization for loop regions, one-shot flows
+  // elsewhere.
+  const double commScale =
+      node.kind == htg::NodeKind::Loop ? std::max(1.0, node.iterationsPerExec) : 1.0;
+  const int N = static_cast<int>(node.children.size());
+  for (const htg::Edge& e : node.edges) {
+    IlpEdgeSpec spec;
+    spec.orderingOnly = e.kind != ir::DepKind::Flow;
+    spec.commSeconds =
+        spec.orderingOnly ? 0.0 : commScale * timing_.commSeconds(e.bytes);
+    if (e.from == node.commIn) spec.from = -1;
+    else spec.from = childIndex.at(e.from);
+    if (e.to == node.commOut) spec.to = N;
+    else spec.to = childIndex.at(e.to);
+    region.edges.push_back(spec);
+  }
+  return region;
+}
+
+ChunkRegion Parallelizer::buildChunkRegion(NodeId id, const SolutionTable& table, ClassId seqPC,
+                                           int maxProcs) const {
+  const Node& node = graph_.node(id);
+  const platform::Platform& pf = timing_.platform();
+  const int C = pf.numClasses();
+  HETPAR_CHECK(node.kind == htg::NodeKind::Loop && node.doall);
+
+  const double iterations = std::max(1.0, node.iterationsPerExec);
+
+  ChunkRegion region;
+  region.name = strings::format("n%d_chunk_pc%d_b%d", id, seqPC, maxProcs);
+  region.iterations = static_cast<long long>(std::llround(iterations));
+  region.seqPC = seqPC;
+  region.maxProcs = maxProcs;
+  region.maxTasks = std::min(options_.maxTasksPerRegion, maxProcs);
+  region.taskCreationSeconds = timing_.taskCreationSeconds();
+  for (ClassId c = 0; c < C; ++c)
+    region.numProcsPerClass.push_back(pf.classAt(c).count);
+
+  // Per-iteration sequential body time per class: loop-control header plus
+  // the children's sequential candidates, normalized to one iteration.
+  for (ClassId c = 0; c < C; ++c) {
+    double bodySeconds = timing_.seconds(c, node.mixPerExec);  // header, per node exec
+    for (NodeId childId : node.children) {
+      const Node& child = graph_.node(childId);
+      const double ratio = node.execCount > 0 ? child.execCount / node.execCount : 0.0;
+      const ParallelSet& childSet = table.at(childId);
+      const int seq = childSet.sequentialFor(c);
+      HETPAR_CHECK(seq >= 0);
+      bodySeconds += ratio * childSet.at(seq).timeSeconds;
+    }
+    region.secondsPerIter.push_back(bodySeconds / iterations);
+  }
+
+  // Boundary payloads: inbound/outbound bytes through the comm nodes,
+  // proportional to the iteration share; reductions add one scalar merge.
+  long long inBytes = 0;
+  long long outBytes = 0;
+  for (const htg::Edge& e : node.edges) {
+    if (e.from == node.commIn && e.kind == ir::DepKind::Flow) inBytes += e.bytes;
+    if (e.to == node.commOut && e.kind == ir::DepKind::Flow) outBytes += e.bytes;
+  }
+  outBytes += 8 * static_cast<long long>(node.reductionVars.size());
+  const platform::Interconnect& bus = pf.interconnect();
+  if (inBytes > 0) {
+    region.commInLatency = bus.latencySeconds;
+    region.commInSecondsPerIter =
+        static_cast<double>(inBytes) / iterations / bus.bytesPerSecond;
+  }
+  if (outBytes > 0) {
+    region.commOutLatency = bus.latencySeconds;
+    region.commOutSecondsPerIter =
+        static_cast<double>(outBytes) / iterations / bus.bytesPerSecond;
+  }
+  return region;
+}
+
+SolutionCandidate Parallelizer::decodeTaskParallel(const Node& node, const IlpRegion& region,
+                                                   const IlpParResult& r) const {
+  (void)node;
+  const int C = timing_.platform().numClasses();
+  SolutionCandidate cand;
+  cand.kind = SolutionKind::TaskParallel;
+  cand.mainClass = region.seqPC;
+  cand.timeSeconds = r.timeSeconds;
+  cand.taskClass = r.taskClass;
+  cand.extraProcs.assign(static_cast<std::size_t>(C), 0);
+  for (std::size_t t = 1; t < r.taskClass.size(); ++t)
+    ++cand.extraProcs[static_cast<std::size_t>(r.taskClass[t])];
+
+  cand.childTask = r.childTask;
+  cand.childChoice.resize(region.children.size());
+  // Children sharing a task run sequentially and reuse the processors their
+  // nested solutions borrow, so the per-task footprint is the per-class
+  // MAXIMUM over its children (Eq 14's accounting), summed over tasks.
+  std::vector<std::vector<int>> perTask(r.taskClass.size(),
+                                        std::vector<int>(static_cast<std::size_t>(C), 0));
+  for (std::size_t n = 0; n < region.children.size(); ++n) {
+    const auto [cls, s] = r.childChoice[n];
+    const IlpCandidate& chosen =
+        region.children[n].byClass[static_cast<std::size_t>(cls)][static_cast<std::size_t>(s)];
+    cand.childChoice[n] = chosen.ref;
+    const int t = r.childTask[n];
+    if (t < static_cast<int>(perTask.size())) {
+      for (int c = 0; c < C && c < static_cast<int>(chosen.extraProcs.size()); ++c)
+        perTask[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)] =
+            std::max(perTask[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)],
+                     chosen.extraProcs[static_cast<std::size_t>(c)]);
+    }
+  }
+  for (const auto& taskExtra : perTask)
+    for (int c = 0; c < C; ++c)
+      cand.extraProcs[static_cast<std::size_t>(c)] += taskExtra[static_cast<std::size_t>(c)];
+  return cand;
+}
+
+SolutionCandidate Parallelizer::decodeChunked(const Node& node, const ChunkResult& r,
+                                              ClassId seqPC) const {
+  (void)node;
+  const int C = timing_.platform().numClasses();
+  SolutionCandidate cand;
+  cand.kind = SolutionKind::LoopChunked;
+  cand.mainClass = seqPC;
+  cand.timeSeconds = r.timeSeconds;
+  cand.taskClass = r.taskClass;
+  cand.extraProcs.assign(static_cast<std::size_t>(C), 0);
+  for (std::size_t t = 1; t < r.taskClass.size(); ++t)
+    ++cand.extraProcs[static_cast<std::size_t>(r.taskClass[t])];
+  cand.chunkIterations = r.taskIterations;
+  return cand;
+}
+
+}  // namespace hetpar::parallel

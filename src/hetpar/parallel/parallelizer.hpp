@@ -1,0 +1,88 @@
+// The global parallelization algorithm (paper Algorithm 1).
+//
+// Walks the HTG bottom-up. Every hierarchical node is parallelized in
+// isolation: for each processor class `seqPC` and a shrinking processor
+// budget `i`, an ILPPAR instance extracts one parallel solution candidate;
+// candidates found deeper in the hierarchy are offered to the parent's ILP
+// through the parallel sets (Eq 3-4), so new tasks combine with nested
+// parallelism whenever that pays off. DOALL loops additionally offer
+// iteration-chunked candidates (the HTG's "loop iteration" granularity
+// level), which is where heterogeneity-aware balancing shines: the ILP
+// hands fast classes proportionally more iterations.
+#pragma once
+
+#include "hetpar/cost/timing.hpp"
+#include "hetpar/htg/graph.hpp"
+#include "hetpar/parallel/ilppar_model.hpp"
+#include "hetpar/parallel/solution.hpp"
+#include "hetpar/parallel/stats.hpp"
+
+namespace hetpar::parallel {
+
+struct ParallelizerOptions {
+  /// Cap on tasks a single ILPPAR call may open (also bounded by the
+  /// processor budget and the child count).
+  int maxTasksPerRegion = 4;
+  /// Iteration-chunk resolution for DOALL loops. Higher values let the ILP
+  /// balance finer against class speed ratios at the price of bigger models.
+  int chunkCount = 16;
+  /// Regions whose sequential time on the fastest class is below this many
+  /// task-creation overheads are not worth an ILP (automatic granularity
+  /// control, paper contribution 2).
+  double minRegionTcoMultiple = 4.0;
+  /// Per-ILP solver limits.
+  double ilpTimeLimitSeconds = 20.0;
+  long long ilpMaxNodes = 400'000;
+  /// Enables the LoopChunked mode (ablation hook).
+  bool enableChunking = true;
+  /// Enables combining nested candidates (ablation hook: when false, only
+  /// sequential child candidates are offered, i.e. no Parallel Set Mapping).
+  bool enableParallelSetMapping = true;
+  /// Menu cap per (node, class): sequential + the fastest others. Keeps the
+  /// parent ILPs' p-dimension small.
+  int maxCandidatesPerClass = 3;
+};
+
+struct ParallelizeOutcome {
+  SolutionTable table;  ///< parallel set per hierarchical/leaf node
+  IlpStatistics stats;
+
+  /// Best candidate for executing the whole program with the main task on
+  /// `mainClass` (what IMPLEMENTBESTSOLUTION consumes).
+  SolutionRef bestRoot(const htg::Graph& g, ClassId mainClass) const;
+};
+
+class Parallelizer {
+ public:
+  Parallelizer(const htg::Graph& graph, const cost::TimingModel& timing,
+               ParallelizerOptions options = {});
+
+  /// Runs Algorithm 1 over the whole graph.
+  ParallelizeOutcome run();
+
+ private:
+  void parallelizeNode(htg::NodeId id, ParallelizeOutcome& out);
+  void addSequentialCandidates(htg::NodeId id, const SolutionTable& table, ParallelSet& set);
+  double sequentialSeconds(htg::NodeId id, ClassId c, const SolutionTable& table) const;
+
+  IlpRegion buildTaskRegion(htg::NodeId id, const SolutionTable& table, ClassId seqPC,
+                            int maxProcs) const;
+  /// Achievable upper bound: all children on the main task, greedily using
+  /// their fastest seqPC-class candidates within the processor budget.
+  double allInMainBound(const IlpRegion& region) const;
+  /// The assignment realizing that bound, as a full candidate (fallback when
+  /// the ILP exhausts its limits before matching it).
+  SolutionCandidate greedyAllInMain(const IlpRegion& region) const;
+  ChunkRegion buildChunkRegion(htg::NodeId id, const SolutionTable& table, ClassId seqPC,
+                               int maxProcs) const;
+  SolutionCandidate decodeTaskParallel(const htg::Node& node, const IlpRegion& region,
+                                       const IlpParResult& r) const;
+  SolutionCandidate decodeChunked(const htg::Node& node, const ChunkResult& r,
+                                  ClassId seqPC) const;
+
+  const htg::Graph& graph_;
+  const cost::TimingModel& timing_;
+  ParallelizerOptions options_;
+};
+
+}  // namespace hetpar::parallel

@@ -1,0 +1,60 @@
+#include "hetpar/parallel/solution.hpp"
+
+#include <algorithm>
+
+namespace hetpar::parallel {
+
+void ParallelSet::pruneDominated() {
+  // A candidate is dominated when another candidate of the same main class
+  // is at least as fast and allocates no more processors. Sequential
+  // candidates are always kept (the paper guarantees one per class).
+  std::vector<bool> keep(all_.size(), true);
+  for (std::size_t i = 0; i < all_.size(); ++i) {
+    if (all_[i].kind == SolutionKind::Sequential) continue;
+    for (std::size_t j = 0; j < all_.size(); ++j) {
+      if (i == j || !keep[j]) continue;
+      const SolutionCandidate& a = all_[i];
+      const SolutionCandidate& b = all_[j];
+      if (a.mainClass != b.mainClass) continue;
+      const bool slower = b.timeSeconds <= a.timeSeconds + 1e-15;
+      bool noMoreProcs = b.totalProcs() <= a.totalProcs();
+      if (slower && noMoreProcs && (b.timeSeconds < a.timeSeconds - 1e-15 ||
+                                    b.totalProcs() < a.totalProcs() || j < i)) {
+        keep[i] = false;
+        break;
+      }
+    }
+  }
+  std::vector<SolutionCandidate> pruned;
+  pruned.reserve(all_.size());
+  for (std::size_t i = 0; i < all_.size(); ++i)
+    if (keep[i]) pruned.push_back(std::move(all_[i]));
+  all_ = std::move(pruned);
+}
+
+void ParallelSet::capPerClass(int maxPerClass) {
+  if (maxPerClass <= 0) return;
+  // Rank non-sequential candidates per class by time; drop the tail.
+  std::map<ClassId, std::vector<int>> nonSeqByClass;
+  for (std::size_t i = 0; i < all_.size(); ++i)
+    if (all_[i].kind != SolutionKind::Sequential)
+      nonSeqByClass[all_[i].mainClass].push_back(static_cast<int>(i));
+
+  std::vector<bool> keep(all_.size(), true);
+  for (auto& [cls, indices] : nonSeqByClass) {
+    (void)cls;
+    std::sort(indices.begin(), indices.end(), [this](int a, int b) {
+      return all_[static_cast<std::size_t>(a)].timeSeconds <
+             all_[static_cast<std::size_t>(b)].timeSeconds;
+    });
+    for (std::size_t k = static_cast<std::size_t>(maxPerClass) - 1; k < indices.size(); ++k)
+      keep[static_cast<std::size_t>(indices[k])] = false;
+  }
+  std::vector<SolutionCandidate> trimmed;
+  trimmed.reserve(all_.size());
+  for (std::size_t i = 0; i < all_.size(); ++i)
+    if (keep[i]) trimmed.push_back(std::move(all_[i]));
+  all_ = std::move(trimmed);
+}
+
+}  // namespace hetpar::parallel

@@ -1,0 +1,125 @@
+// Parallel solution candidates and parallel sets (paper Section III-B).
+//
+// Every HTG node accumulates a set of solution candidates while Algorithm 1
+// walks the hierarchy bottom-up. Each candidate is "tagged by the processor
+// class executing the main task and contains information about the extracted
+// node-to-task mapping, the number of inner tasks, the execution time of the
+// parallelized (or sequentially executed) node as well as the
+// task-to-processor class mapping".
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "hetpar/htg/graph.hpp"
+#include "hetpar/platform/platform.hpp"
+
+namespace hetpar::parallel {
+
+using platform::ClassId;
+
+/// How the candidate executes the node's children.
+enum class SolutionKind {
+  Sequential,    ///< everything on the main task
+  TaskParallel,  ///< children distributed over tasks (Eq 1-18)
+  LoopChunked,   ///< DOALL loop split into iteration ranges over tasks
+};
+
+/// Reference to a candidate within a node's ParallelSet.
+struct SolutionRef {
+  htg::NodeId node = htg::kNoNode;
+  int index = -1;
+  bool valid() const { return node != htg::kNoNode && index >= 0; }
+};
+
+struct SolutionCandidate {
+  SolutionKind kind = SolutionKind::Sequential;
+  ClassId mainClass = 0;     ///< class running the main task
+  double timeSeconds = 0.0;  ///< node execution time per single execution
+
+  /// Processors allocated per class *beyond* the main task's own processor
+  /// (the paper's USEDPROCS accounting; see DESIGN.md): the candidate's own
+  /// extra tasks plus everything its chosen nested solutions borrow.
+  std::vector<int> extraProcs;
+
+  /// Per task: mapped processor class. tasks[0] is the main task.
+  std::vector<ClassId> taskClass;
+
+  /// TaskParallel: childTask[i] = task executing body child i, and
+  /// childChoice[i] = chosen candidate in that child's parallel set.
+  std::vector<int> childTask;
+  std::vector<SolutionRef> childChoice;
+
+  /// LoopChunked: iterations assigned to each task (same length as
+  /// taskClass); the loop body runs sequentially inside each chunk.
+  std::vector<double> chunkIterations;
+
+  int numTasks() const { return static_cast<int>(taskClass.size()); }
+  /// Total processors consumed: the main task's processor plus everything
+  /// in extraProcs (which already covers the candidate's own extra tasks).
+  int totalProcs() const {
+    int total = 1;
+    for (int e : extraProcs) total += e;
+    return total;
+  }
+};
+
+/// All candidates collected for one node. Guaranteed to contain a
+/// Sequential candidate for every processor class (paper: "The parallel
+/// solution set of child node n contains at least one solution candidate
+/// for each processor class").
+class ParallelSet {
+ public:
+  int add(SolutionCandidate candidate) {
+    all_.push_back(std::move(candidate));
+    return static_cast<int>(all_.size()) - 1;
+  }
+
+  const std::vector<SolutionCandidate>& all() const { return all_; }
+  const SolutionCandidate& at(int index) const { return all_.at(static_cast<std::size_t>(index)); }
+  std::size_t size() const { return all_.size(); }
+
+  /// Indices of candidates tagged with main class `c`.
+  std::vector<int> forClass(ClassId c) const {
+    std::vector<int> out;
+    for (std::size_t i = 0; i < all_.size(); ++i)
+      if (all_[i].mainClass == c) out.push_back(static_cast<int>(i));
+    return out;
+  }
+
+  /// Index of the sequential candidate for class `c` (-1 if missing).
+  int sequentialFor(ClassId c) const {
+    for (std::size_t i = 0; i < all_.size(); ++i)
+      if (all_[i].mainClass == c && all_[i].kind == SolutionKind::Sequential)
+        return static_cast<int>(i);
+    return -1;
+  }
+
+  /// Index of the fastest candidate for class `c` (-1 if none).
+  int bestFor(ClassId c) const {
+    int best = -1;
+    for (std::size_t i = 0; i < all_.size(); ++i) {
+      if (all_[i].mainClass != c) continue;
+      if (best < 0 || all_[i].timeSeconds < all_[static_cast<std::size_t>(best)].timeSeconds)
+        best = static_cast<int>(i);
+    }
+    return best;
+  }
+
+  /// Drops candidates dominated within their class: another candidate of
+  /// the same class is at least as fast and uses no more processors.
+  void pruneDominated();
+
+  /// Caps the menu per class to the sequential candidate plus the
+  /// `maxPerClass - 1` fastest others (keeps parent ILPs small; the paper
+  /// notes the tension between menu size and solution quality).
+  void capPerClass(int maxPerClass);
+
+ private:
+  std::vector<SolutionCandidate> all_;
+};
+
+/// Per-node parallel sets for a whole graph.
+using SolutionTable = std::map<htg::NodeId, ParallelSet>;
+
+}  // namespace hetpar::parallel

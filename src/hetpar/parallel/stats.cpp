@@ -1,0 +1,14 @@
+#include "hetpar/parallel/stats.hpp"
+
+#include "hetpar/support/strings.hpp"
+
+namespace hetpar::parallel {
+
+std::string IlpStatistics::summary() const {
+  return strings::format("%lld ILPs, %s vars, %s constraints, %s bnb nodes, %.2fs",
+                         numIlps, strings::formatThousands(numVars).c_str(),
+                         strings::formatThousands(numConstraints).c_str(),
+                         strings::formatThousands(bnbNodes).c_str(), wallSeconds);
+}
+
+}  // namespace hetpar::parallel

@@ -1,0 +1,39 @@
+// Aggregated ILP statistics (feeds the reproduction of the paper's Table I).
+#pragma once
+
+#include <string>
+
+#include "hetpar/ilp/model.hpp"
+
+namespace hetpar::parallel {
+
+struct IlpStatistics {
+  long long numIlps = 0;
+  long long numVars = 0;         ///< summed over all generated ILPs
+  long long numConstraints = 0;  ///< summed over all generated ILPs
+  long long bnbNodes = 0;
+  long long simplexIterations = 0;
+  double wallSeconds = 0.0;  ///< total solve time
+
+  void absorb(const ilp::SolveStats& s) {
+    ++numIlps;
+    numVars += static_cast<long long>(s.numVars);
+    numConstraints += static_cast<long long>(s.numConstraints);
+    bnbNodes += s.nodesExplored;
+    simplexIterations += s.simplexIterations;
+    wallSeconds += s.wallSeconds;
+  }
+
+  void merge(const IlpStatistics& other) {
+    numIlps += other.numIlps;
+    numVars += other.numVars;
+    numConstraints += other.numConstraints;
+    bnbNodes += other.bnbNodes;
+    simplexIterations += other.simplexIterations;
+    wallSeconds += other.wallSeconds;
+  }
+
+  std::string summary() const;
+};
+
+}  // namespace hetpar::parallel

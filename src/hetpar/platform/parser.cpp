@@ -1,0 +1,121 @@
+#include "hetpar/platform/parser.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "hetpar/support/error.hpp"
+#include "hetpar/support/strings.hpp"
+
+namespace hetpar::platform {
+
+namespace {
+
+double parseNumber(const std::string& token, int lineNo) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  require<ParseError>(end && *end == '\0',
+                      strings::format("platform line %d: '%s' is not a number", lineNo,
+                                      token.c_str()));
+  return v;
+}
+
+/// Reads `key value` pairs from tokens[start..] into a tiny lookup helper.
+class KeyValues {
+ public:
+  KeyValues(const std::vector<std::string>& tokens, std::size_t start, int lineNo)
+      : lineNo_(lineNo) {
+    require<ParseError>((tokens.size() - start) % 2 == 0,
+                        strings::format("platform line %d: dangling key", lineNo));
+    for (std::size_t i = start; i + 1 < tokens.size(); i += 2)
+      pairs_.emplace_back(tokens[i], tokens[i + 1]);
+  }
+
+  double number(const std::string& key) const {
+    for (const auto& [k, v] : pairs_)
+      if (k == key) return parseNumber(v, lineNo_);
+    throw ParseError(strings::format("platform line %d: missing key '%s'", lineNo_, key.c_str()));
+  }
+
+  double numberOr(const std::string& key, double fallback) const {
+    for (const auto& [k, v] : pairs_)
+      if (k == key) return parseNumber(v, lineNo_);
+    return fallback;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> pairs_;
+  int lineNo_;
+};
+
+}  // namespace
+
+Platform parsePlatform(std::string_view text) {
+  std::string name = "unnamed";
+  std::vector<ProcessorClass> classes;
+  Interconnect bus;
+  double tcoSeconds = 25e-6;
+
+  int lineNo = 0;
+  for (const std::string& rawLine : strings::split(text, '\n')) {
+    ++lineNo;
+    std::string line{strings::trim(rawLine)};
+    if (auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    const auto tokens = strings::splitWhitespace(line);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+    if (directive == "platform") {
+      require<ParseError>(tokens.size() == 2,
+                          strings::format("platform line %d: expected 'platform <name>'", lineNo));
+      name = tokens[1];
+    } else if (directive == "class") {
+      require<ParseError>(tokens.size() >= 2,
+                          strings::format("platform line %d: class needs a name", lineNo));
+      KeyValues kv(tokens, 2, lineNo);
+      ProcessorClass pc;
+      pc.name = tokens[1];
+      pc.frequencyMHz = kv.number("freq_mhz");
+      pc.count = static_cast<int>(kv.number("count"));
+      pc.cyclesPerOp = kv.numberOr("cpi", 1.0);
+      pc.wattsActive = kv.numberOr("watts_active", 0.0);
+      pc.wattsIdle = kv.numberOr("watts_idle", 0.0);
+      pc.kindFactor[0] = kv.numberOr("factor_int", 1.0);
+      pc.kindFactor[1] = kv.numberOr("factor_float", 1.0);
+      pc.kindFactor[2] = kv.numberOr("factor_mem", 1.0);
+      pc.kindFactor[3] = kv.numberOr("factor_control", 1.0);
+      classes.push_back(std::move(pc));
+    } else if (directive == "bus") {
+      KeyValues kv(tokens, 1, lineNo);
+      bus.latencySeconds = kv.number("latency_us") * 1e-6;
+      bus.bytesPerSecond = kv.number("bandwidth_mbps") * 1e6;
+    } else if (directive == "tco_us") {
+      require<ParseError>(tokens.size() == 2,
+                          strings::format("platform line %d: expected 'tco_us <float>'", lineNo));
+      tcoSeconds = parseNumber(tokens[1], lineNo) * 1e-6;
+    } else {
+      throw ParseError(strings::format("platform line %d: unknown directive '%s'", lineNo,
+                                       directive.c_str()));
+    }
+  }
+  return Platform(std::move(name), std::move(classes), bus, tcoSeconds);
+}
+
+std::string toText(const Platform& p) {
+  std::ostringstream os;
+  os << "platform " << p.name() << "\n";
+  for (const auto& pc : p.classes()) {
+    os << "class " << pc.name << " freq_mhz " << pc.frequencyMHz << " count " << pc.count;
+    if (pc.cyclesPerOp != 1.0) os << " cpi " << pc.cyclesPerOp;
+    if (pc.wattsActive > 0) os << " watts_active " << pc.wattsActive;
+    if (pc.wattsIdle > 0) os << " watts_idle " << pc.wattsIdle;
+    const char* kindKeys[4] = {"factor_int", "factor_float", "factor_mem", "factor_control"};
+    for (int k = 0; k < 4; ++k)
+      if (pc.kindFactor[k] != 1.0) os << " " << kindKeys[k] << " " << pc.kindFactor[k];
+    os << "\n";
+  }
+  os << "bus latency_us " << p.interconnect().latencySeconds * 1e6 << " bandwidth_mbps "
+     << p.interconnect().bytesPerSecond / 1e6 << "\n";
+  os << "tco_us " << p.taskCreationOverheadSeconds() * 1e6 << "\n";
+  return os.str();
+}
+
+}  // namespace hetpar::platform

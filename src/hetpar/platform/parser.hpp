@@ -1,0 +1,24 @@
+// Text format for platform descriptions (paper reference [18] provides a
+// system-level platform description; this is our minimal equivalent).
+//
+// Grammar (one directive per line, '#' starts a comment):
+//   platform <name>
+//   class <name> freq_mhz <float> count <int> [cpi <float>]
+//   bus latency_us <float> bandwidth_mbps <float>
+//   tco_us <float>
+#pragma once
+
+#include <string_view>
+
+#include "hetpar/platform/platform.hpp"
+
+namespace hetpar::platform {
+
+/// Parses the textual description; throws hetpar::ParseError on malformed
+/// input and hetpar::Error on semantically invalid platforms.
+Platform parsePlatform(std::string_view text);
+
+/// Renders `p` back into the textual format (round-trips with parsePlatform).
+std::string toText(const Platform& p);
+
+}  // namespace hetpar::platform

@@ -1,0 +1,123 @@
+#include "hetpar/platform/platform.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "hetpar/support/error.hpp"
+
+namespace hetpar::platform {
+
+Platform::Platform(std::string name, std::vector<ProcessorClass> classes,
+                   Interconnect interconnect, double taskCreationOverheadSeconds)
+    : name_(std::move(name)),
+      classes_(std::move(classes)),
+      interconnect_(interconnect),
+      tcoSeconds_(taskCreationOverheadSeconds) {
+  validate();
+}
+
+const ProcessorClass& Platform::classAt(ClassId c) const {
+  require(c >= 0 && c < numClasses(), "processor class index out of range");
+  return classes_[static_cast<std::size_t>(c)];
+}
+
+int Platform::numCores() const {
+  int total = 0;
+  for (const auto& pc : classes_) total += pc.count;
+  return total;
+}
+
+double Platform::opsPerSecond(ClassId c) const {
+  const ProcessorClass& pc = classAt(c);
+  return pc.frequencyMHz * 1e6 / pc.cyclesPerOp;
+}
+
+double Platform::timeForOps(ClassId c, double ops) const { return ops / opsPerSecond(c); }
+
+double Platform::timeForKinds(ClassId c, const double kindOps[4]) const {
+  const ProcessorClass& pc = classAt(c);
+  double weighted = 0.0;
+  for (int k = 0; k < 4; ++k) weighted += kindOps[k] * pc.kindFactor[k];
+  return weighted / opsPerSecond(c);
+}
+
+double Platform::commTimeSeconds(double bytes) const {
+  if (bytes <= 0) return 0.0;
+  return interconnect_.latencySeconds + bytes / interconnect_.bytesPerSecond;
+}
+
+ClassId Platform::fastestClass() const {
+  require(!classes_.empty(), "platform has no processor classes");
+  ClassId best = 0;
+  for (ClassId c = 1; c < numClasses(); ++c)
+    if (opsPerSecond(c) > opsPerSecond(best)) best = c;
+  return best;
+}
+
+ClassId Platform::slowestClass() const {
+  require(!classes_.empty(), "platform has no processor classes");
+  ClassId best = 0;
+  for (ClassId c = 1; c < numClasses(); ++c)
+    if (opsPerSecond(c) < opsPerSecond(best)) best = c;
+  return best;
+}
+
+ClassId Platform::findClass(const std::string& name) const {
+  for (ClassId c = 0; c < numClasses(); ++c)
+    if (classes_[static_cast<std::size_t>(c)].name == name) return c;
+  return -1;
+}
+
+double Platform::theoreticalMaxSpeedup(ClassId mainClass) const {
+  double total = 0.0;
+  for (ClassId c = 0; c < numClasses(); ++c)
+    total += opsPerSecond(c) * classAt(c).count;
+  return total / opsPerSecond(mainClass);
+}
+
+ClassId Platform::classOfCore(int coreId) const {
+  require(coreId >= 0 && coreId < numCores(), "core id out of range");
+  int offset = 0;
+  for (ClassId c = 0; c < numClasses(); ++c) {
+    offset += classAt(c).count;
+    if (coreId < offset) return c;
+  }
+  return numClasses() - 1;  // unreachable; validate() guarantees coverage
+}
+
+int Platform::firstCoreOfClass(ClassId c) const {
+  require(c >= 0 && c < numClasses(), "processor class index out of range");
+  int offset = 0;
+  for (ClassId i = 0; i < c; ++i) offset += classAt(i).count;
+  return offset;
+}
+
+std::string Platform::summary() const {
+  std::ostringstream os;
+  os << name_ << ": ";
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (i) os << " + ";
+    os << classes_[i].count << "x" << classes_[i].frequencyMHz;
+  }
+  os << " MHz";
+  return os.str();
+}
+
+void Platform::validate() const {
+  require(!classes_.empty(), "platform '" + name_ + "' has no processor classes");
+  for (const auto& pc : classes_) {
+    require(pc.count > 0, "processor class '" + pc.name + "' has no units");
+    require(pc.frequencyMHz > 0, "processor class '" + pc.name + "' has non-positive frequency");
+    require(pc.cyclesPerOp > 0, "processor class '" + pc.name + "' has non-positive CPI");
+  }
+  require(interconnect_.latencySeconds >= 0, "negative interconnect latency");
+  require(interconnect_.bytesPerSecond > 0, "non-positive interconnect bandwidth");
+  require(tcoSeconds_ >= 0, "negative task creation overhead");
+  // Class names must be unique so findClass is unambiguous.
+  for (std::size_t i = 0; i < classes_.size(); ++i)
+    for (std::size_t j = i + 1; j < classes_.size(); ++j)
+      require(classes_[i].name != classes_[j].name,
+              "duplicate processor class name '" + classes_[i].name + "'");
+}
+
+}  // namespace hetpar::platform

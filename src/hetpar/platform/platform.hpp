@@ -1,0 +1,108 @@
+// Heterogeneous MPSoC platform description.
+//
+// Mirrors the paper's platform description input [18]: processor classes
+// (identical processing units grouped by performance characteristics), the
+// number of units per class, a shared interconnect, and the task-creation
+// overhead used by the ILP cost model (the `TCO` constant of Eq 8).
+//
+// Times are modeled in seconds; statement costs are abstract operation
+// counts ("ops") which a class executes at `frequencyMHz` million ops per
+// second scaled by `cyclesPerOp`. Same-ISA heterogeneity (the paper's
+// big.LITTLE-style targets) varies only frequency; `cyclesPerOp` permits
+// modeling micro-architectural differences as well.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hetpar::platform {
+
+/// A group of identical processing units (paper: "processor class").
+struct ProcessorClass {
+  std::string name;
+  double frequencyMHz = 0.0;
+  int count = 0;             ///< processing units of this class (NUMPROCS_c)
+  double cyclesPerOp = 1.0;  ///< abstract CPI; 1.0 for the paper's same-ISA cores
+  /// Optional power model (0 = derive from frequency; see hetpar/sim/energy.hpp).
+  double wattsActive = 0.0;
+  double wattsIdle = 0.0;
+  /// Per-op-kind cost multipliers enabling cross-ISA platforms (order:
+  /// int-ALU, float-ALU, memory, control; 1.0 = same-ISA baseline). A DSP
+  /// class might use {1.0, 0.25, 1.0, 2.0}: fast float units, weak control.
+  double kindFactor[4] = {1.0, 1.0, 1.0, 1.0};
+};
+
+/// Shared bus connecting all cores (paper: "high performance bus" + L2).
+struct Interconnect {
+  double latencySeconds = 1e-6;      ///< fixed per-transfer startup cost
+  double bytesPerSecond = 400.0e6;   ///< sustained bandwidth
+};
+
+/// Index of a processor class within a Platform.
+using ClassId = int;
+
+/// Full platform model handed to the parallelizer and the simulator.
+class Platform {
+ public:
+  Platform() = default;
+  Platform(std::string name, std::vector<ProcessorClass> classes, Interconnect interconnect,
+           double taskCreationOverheadSeconds);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ProcessorClass>& classes() const { return classes_; }
+  const ProcessorClass& classAt(ClassId c) const;
+  int numClasses() const { return static_cast<int>(classes_.size()); }
+
+  /// Total processing units over all classes.
+  int numCores() const;
+
+  const Interconnect& interconnect() const { return interconnect_; }
+  double taskCreationOverheadSeconds() const { return tcoSeconds_; }
+
+  /// Seconds class `c` needs for `ops` abstract operations.
+  double timeForOps(ClassId c, double ops) const;
+
+  /// Seconds class `c` needs for a per-kind operation breakdown
+  /// (kindWeighted[k] summed with the class's kindFactor applied).
+  double timeForKinds(ClassId c, const double kindOps[4]) const;
+
+  /// Effective op throughput of class `c` in ops/second.
+  double opsPerSecond(ClassId c) const;
+
+  /// Seconds to move `bytes` over the interconnect (one cut data-flow edge).
+  double commTimeSeconds(double bytes) const;
+
+  /// Index of the fastest / slowest class by op throughput.
+  ClassId fastestClass() const;
+  ClassId slowestClass() const;
+
+  /// Finds a class by name; -1 if absent.
+  ClassId findClass(const std::string& name) const;
+
+  /// Paper's "theoretical maximum speedup limit": sum of all core
+  /// frequencies divided by the main core's frequency (footnotes 2-5),
+  /// generalized to op throughput.
+  double theoreticalMaxSpeedup(ClassId mainClass) const;
+
+  /// Globally unique core ids: cores are numbered class-major, i.e. class 0's
+  /// units first. Returns the class owning `coreId`.
+  ClassId classOfCore(int coreId) const;
+
+  /// First core id belonging to class `c`.
+  int firstCoreOfClass(ClassId c) const;
+
+  /// One-line human-readable summary, e.g. "A: 1x100 + 1x250 + 2x500 MHz".
+  std::string summary() const;
+
+  /// Throws hetpar::Error on structural problems (no classes, zero counts...).
+  void validate() const;
+
+ private:
+  std::string name_ = "unnamed";
+  std::vector<ProcessorClass> classes_;
+  Interconnect interconnect_;
+  double tcoSeconds_ = 20e-6;
+};
+
+}  // namespace hetpar::platform

@@ -1,0 +1,51 @@
+#include "hetpar/platform/presets.hpp"
+
+#include "hetpar/support/strings.hpp"
+
+namespace hetpar::platform {
+
+namespace {
+// Shared-bus parameters used for all presets: a 64-bit AXI-class on-chip bus
+// with an L2 behind it (paper: "connected with a level 2 cache on a high
+// performance bus to enable fast memory accesses for shared data"), plus the
+// task-creation overhead charged per task by Eq 8.
+constexpr double kBusLatencySeconds = 5e-7;
+constexpr double kBusBytesPerSecond = 1.6e9;
+constexpr double kTaskCreateSeconds = 25e-6;
+}  // namespace
+
+Platform platformA() {
+  return Platform("A",
+                  {{"arm_100", 100.0, 1}, {"arm_250", 250.0, 1}, {"arm_500", 500.0, 2}},
+                  {kBusLatencySeconds, kBusBytesPerSecond}, kTaskCreateSeconds);
+}
+
+Platform platformB() {
+  return Platform("B", {{"arm_200", 200.0, 2}, {"arm_500", 500.0, 2}},
+                  {kBusLatencySeconds, kBusBytesPerSecond}, kTaskCreateSeconds);
+}
+
+Platform homogeneous(int count, double frequencyMHz) {
+  return Platform(strings::format("homog_%dx%.0f", count, frequencyMHz),
+                  {{strings::format("arm_%.0f", frequencyMHz), frequencyMHz, count}},
+                  {kBusLatencySeconds, kBusBytesPerSecond}, kTaskCreateSeconds);
+}
+
+Platform crossIsaDemo() {
+  ProcessorClass gpp{"gpp", 300.0, 2};
+  ProcessorClass dsp{"dsp", 300.0, 2};
+  dsp.kindFactor[1] = 0.25;  // float ALU: 4x faster
+  dsp.kindFactor[3] = 2.0;   // control flow: 2x slower
+  return Platform("crossisa", {gpp, dsp}, {kBusLatencySeconds, kBusBytesPerSecond},
+                  kTaskCreateSeconds);
+}
+
+Platform custom(std::string name, const std::vector<std::pair<double, int>>& freqCount) {
+  std::vector<ProcessorClass> classes;
+  for (const auto& [freq, count] : freqCount)
+    classes.push_back({strings::format("arm_%.0f_c%zu", freq, classes.size()), freq, count});
+  return Platform(std::move(name), std::move(classes),
+                  {kBusLatencySeconds, kBusBytesPerSecond}, kTaskCreateSeconds);
+}
+
+}  // namespace hetpar::platform

@@ -1,0 +1,31 @@
+// The evaluation platforms of the paper's Section VI, plus generic builders.
+#pragma once
+
+#include "hetpar/platform/platform.hpp"
+
+namespace hetpar::platform {
+
+/// Platform configuration (A): four ARM cores at 100 MHz (1x), 250 MHz (1x)
+/// and 500 MHz (2x) on a shared high-performance bus. Theoretical speedup
+/// limits: 13.5x from the 100 MHz core, 2.7x from a 500 MHz core.
+Platform platformA();
+
+/// Platform configuration (B): two 200 MHz and two 500 MHz cores, modeling
+/// the ~2.5x big.LITTLE performance discrepancy. Limits: 7x / 2.8x.
+Platform platformB();
+
+/// A homogeneous platform with `count` cores at `frequencyMHz` (used by the
+/// baseline comparisons and tests).
+Platform homogeneous(int count, double frequencyMHz);
+
+/// Arbitrary same-ISA platform from (frequencyMHz, count) pairs.
+Platform custom(std::string name, const std::vector<std::pair<double, int>>& freqCount);
+
+/// Cross-ISA demo platform: two general-purpose cores plus two DSP-like
+/// cores at the *same* clock whose per-op-kind factors make float work 4x
+/// cheaper and control flow 2x dearer. Exercises the paper's claim that the
+/// approach "would also perform well for different instruction sets ...
+/// since it uses different execution costs for each statement".
+Platform crossIsaDemo();
+
+}  // namespace hetpar::platform

@@ -1,0 +1,315 @@
+#include "hetpar/sched/flatten.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "hetpar/support/error.hpp"
+#include "hetpar/support/strings.hpp"
+
+namespace hetpar::sched {
+
+using htg::Node;
+using htg::NodeId;
+using parallel::SolutionCandidate;
+using parallel::SolutionKind;
+using parallel::SolutionRef;
+using parallel::SolutionTable;
+using platform::ClassId;
+
+namespace {
+
+class Flattener {
+ public:
+  Flattener(const htg::Graph& graph, const SolutionTable& table,
+            const cost::TimingModel& timing, FlattenOptions options)
+      : graph_(graph), table_(table), timing_(timing), options_(options) {}
+
+  FlattenResult run(SolutionRef rootChoice, int mainCore) {
+    const platform::Platform& pf = timing_.platform();
+    out_ = TaskGraph{};
+    out_.numCores = pf.numCores();
+    require(mainCore >= 0 && mainCore < pf.numCores(), "main core out of range");
+
+    std::vector<int> rootPool;
+    for (int c = 0; c < pf.numCores(); ++c)
+      if (c != mainCore) rootPool.push_back(c);
+    currentPool_ = &rootPool;
+    roundRobinNext_ = 0;
+
+    const SolutionCandidate& cand = table_.at(rootChoice.node).at(rootChoice.index);
+    FlattenResult result;
+    result.finalTask = flattenNode(rootChoice.node, cand, 1.0, mainCore, {});
+    result.graph = std::move(out_);
+    const auto problems = result.graph.validate();
+    HETPAR_CHECK_MSG(problems.empty(), "flattener produced an invalid task graph: " +
+                                           (problems.empty() ? "" : problems[0]));
+    return result;
+  }
+
+ private:
+  double seconds(int core, const cost::OpMix& mix) const {
+    return timing_.seconds(timing_.platform().classOfCore(core), mix);
+  }
+
+  /// Takes one core from the current pool: by class when class-aware,
+  /// round-robin otherwise. Throws if the pool is exhausted (the ILP budget
+  /// guarantees it never is for class-aware allocation).
+  int acquireCore(ClassId cls) {
+    std::vector<int>& pool = *currentPool_;
+    require(!pool.empty(), "core pool exhausted during flattening");
+    if (options_.classAwareAllocation) {
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        if (timing_.platform().classOfCore(pool[i]) == cls) {
+          const int core = pool[i];
+          pool.erase(pool.begin() + static_cast<long>(i));
+          return core;
+        }
+      }
+      // The exact class is exhausted (can happen for the oblivious baseline
+      // or fallback paths): take any core.
+    }
+    const std::size_t pick = roundRobinNext_++ % pool.size();
+    const int core = pool[pick];
+    pool.erase(pool.begin() + static_cast<long>(pick));
+    return core;
+  }
+
+  int emit(int core, double computeSeconds, std::vector<int> preds,
+           std::vector<std::pair<int, double>> transfers, std::string label) {
+    SimTask t;
+    t.core = core;
+    t.computeSeconds = computeSeconds;
+    t.preds = std::move(preds);
+    t.transfers = std::move(transfers);
+    t.label = std::move(label);
+    return out_.addTask(std::move(t));
+  }
+
+  int flattenNode(NodeId id, const SolutionCandidate& cand, double runs, int core,
+                  std::vector<int> preds) {
+    switch (cand.kind) {
+      case SolutionKind::Sequential:
+        return emit(core, runs * seconds(core, graph_.subtreeMixPerExec(id)), std::move(preds),
+                    {}, graph_.node(id).label);
+      case SolutionKind::TaskParallel:
+        return flattenTaskParallel(id, cand, runs, core, std::move(preds));
+      case SolutionKind::LoopChunked:
+        return flattenChunked(id, cand, runs, core, std::move(preds));
+    }
+    throw InternalError("flatten: unknown solution kind");
+  }
+
+  int flattenTaskParallel(NodeId id, const SolutionCandidate& cand, double runs, int core,
+                          std::vector<int> preds) {
+    const Node& node = graph_.node(id);
+    const int T = cand.numTasks();
+    const int N = static_cast<int>(node.children.size());
+    HETPAR_CHECK(static_cast<int>(cand.childTask.size()) == N);
+
+    // Header segment on the main core (loop control, call overhead, spawn).
+    const int header =
+        emit(core, runs * seconds(core, node.mixPerExec), std::move(preds), {},
+             node.label + ":hdr");
+
+    // One physical core per extracted task, plus a carved sub-pool sized for
+    // the nested solutions its children may open.
+    const int C = timing_.platform().numClasses();
+    std::vector<int> taskCore(static_cast<std::size_t>(T), core);
+    std::vector<std::vector<int>> taskPool(static_cast<std::size_t>(T));
+    std::vector<int> spawnSeg(static_cast<std::size_t>(T), -1);
+    for (int t = 1; t < T; ++t)
+      taskCore[static_cast<std::size_t>(t)] =
+          acquireCore(cand.taskClass[static_cast<std::size_t>(t)]);
+    for (int t = 0; t < T; ++t) {
+      std::vector<int> needed(static_cast<std::size_t>(C), 0);
+      for (int i = 0; i < N; ++i) {
+        if (cand.childTask[static_cast<std::size_t>(i)] != t) continue;
+        const SolutionRef ref = cand.childChoice[static_cast<std::size_t>(i)];
+        if (!ref.valid()) continue;
+        const SolutionCandidate& chosen = table_.at(ref.node).at(ref.index);
+        for (int c = 0; c < C && c < static_cast<int>(chosen.extraProcs.size()); ++c)
+          needed[static_cast<std::size_t>(c)] =
+              std::max(needed[static_cast<std::size_t>(c)],
+                       chosen.extraProcs[static_cast<std::size_t>(c)]);
+      }
+      for (int c = 0; c < C; ++c)
+        for (int k = 0; k < needed[static_cast<std::size_t>(c)]; ++k)
+          taskPool[static_cast<std::size_t>(t)].push_back(acquireCore(c));
+    }
+
+    // Spawn segments: each extracted task pays the creation overhead after
+    // the header has run.
+    for (int t = 1; t < T; ++t)
+      spawnSeg[static_cast<std::size_t>(t)] =
+          emit(taskCore[static_cast<std::size_t>(t)],
+               runs * timing_.taskCreationSeconds(), {header}, {},
+               strings::format("%s:spawn%d", node.label.c_str(), t));
+
+    const double commScale =
+        node.kind == htg::NodeKind::Loop ? std::max(1.0, node.iterationsPerExec) : 1.0;
+
+    std::map<NodeId, int> childIndex;
+    for (int i = 0; i < N; ++i) childIndex[node.children[static_cast<std::size_t>(i)]] = i;
+
+    std::vector<int> lastSeg(static_cast<std::size_t>(N), -1);
+    std::vector<int> lastOfTask(static_cast<std::size_t>(T), -1);
+    lastOfTask[0] = header;
+    for (int t = 1; t < T; ++t) lastOfTask[static_cast<std::size_t>(t)] = spawnSeg[static_cast<std::size_t>(t)];
+
+    for (int i = 0; i < N; ++i) {
+      const int t = cand.childTask[static_cast<std::size_t>(i)];
+      const NodeId childId = node.children[static_cast<std::size_t>(i)];
+      const Node& child = graph_.node(childId);
+      const double ratio = node.execCount > 0 ? child.execCount / node.execCount : 0.0;
+
+      std::vector<int> childPreds{lastOfTask[static_cast<std::size_t>(t)]};
+      std::vector<std::pair<int, double>> transfers;
+      for (const htg::Edge& e : node.edges) {
+        if (e.to != childId) continue;
+        if (e.from == node.commIn) {
+          if (t != 0 && e.kind == ir::DepKind::Flow && e.bytes > 0) {
+            transfers.emplace_back(header,
+                                   runs * commScale * timing_.commSeconds(e.bytes));
+          }
+          continue;
+        }
+        auto fromIt = childIndex.find(e.from);
+        if (fromIt == childIndex.end()) continue;
+        const int j = fromIt->second;
+        HETPAR_CHECK_MSG(lastSeg[static_cast<std::size_t>(j)] >= 0,
+                         "region edge from an unprocessed sibling");
+        childPreds.push_back(lastSeg[static_cast<std::size_t>(j)]);
+        const int tj = cand.childTask[static_cast<std::size_t>(j)];
+        if (tj != t && e.kind == ir::DepKind::Flow && e.bytes > 0) {
+          transfers.emplace_back(lastSeg[static_cast<std::size_t>(j)],
+                                 runs * commScale * timing_.commSeconds(e.bytes));
+        }
+      }
+
+      const SolutionRef ref = cand.childChoice[static_cast<std::size_t>(i)];
+      HETPAR_CHECK_MSG(ref.valid() && ref.node == childId,
+                       "task-parallel candidate lacks a child choice");
+      const SolutionCandidate& chosen = table_.at(childId).at(ref.index);
+
+      std::vector<int>* savedPool = currentPool_;
+      currentPool_ = &taskPool[static_cast<std::size_t>(t)];
+      const int firstChildTask = static_cast<int>(out_.tasks.size());
+      const int seg = flattenNode(childId, chosen, runs * ratio,
+                                  taskCore[static_cast<std::size_t>(t)], std::move(childPreds));
+      currentPool_ = savedPool;
+      lastSeg[static_cast<std::size_t>(i)] = seg;
+      lastOfTask[static_cast<std::size_t>(t)] = seg;
+      // Inbound payloads must arrive before the child's *first* emitted task
+      // (the one carrying childPreds), not its last.
+      if (!transfers.empty()) {
+        SimTask& first = out_.tasks[static_cast<std::size_t>(firstChildTask)];
+        for (auto& tr : transfers) first.transfers.push_back(tr);
+      }
+    }
+
+    // Join on the main core: wait for every task's last segment and ship
+    // cut comm-out payloads home.
+    std::vector<int> joinPreds;
+    for (int t = 0; t < T; ++t)
+      if (lastOfTask[static_cast<std::size_t>(t)] >= 0)
+        joinPreds.push_back(lastOfTask[static_cast<std::size_t>(t)]);
+    std::vector<std::pair<int, double>> joinTransfers;
+    for (const htg::Edge& e : node.edges) {
+      if (e.to != node.commOut || e.kind != ir::DepKind::Flow || e.bytes <= 0) continue;
+      auto fromIt = childIndex.find(e.from);
+      if (fromIt == childIndex.end()) continue;
+      const int i = fromIt->second;
+      if (cand.childTask[static_cast<std::size_t>(i)] == 0) continue;
+      joinTransfers.emplace_back(lastSeg[static_cast<std::size_t>(i)],
+                                 runs * commScale * timing_.commSeconds(e.bytes));
+    }
+    const int join =
+        emit(core, 0.0, std::move(joinPreds), std::move(joinTransfers), node.label + ":join");
+
+    // Return every borrowed core to the parent pool.
+    for (int t = 1; t < T; ++t) currentPool_->push_back(taskCore[static_cast<std::size_t>(t)]);
+    for (int t = 0; t < T; ++t)
+      for (int c : taskPool[static_cast<std::size_t>(t)]) currentPool_->push_back(c);
+    return join;
+  }
+
+  int flattenChunked(NodeId id, const SolutionCandidate& cand, double runs, int core,
+                     std::vector<int> preds) {
+    const Node& node = graph_.node(id);
+    const int T = cand.numTasks();
+    HETPAR_CHECK(static_cast<int>(cand.chunkIterations.size()) == T);
+    const double iterations = std::max(1.0, node.iterationsPerExec);
+    const cost::OpMix perIterMix = graph_.subtreeMixPerExec(id) * (1.0 / iterations);
+
+    long long inBytes = 0;
+    long long outBytes = 0;
+    for (const htg::Edge& e : node.edges) {
+      if (e.from == node.commIn && e.kind == ir::DepKind::Flow) inBytes += e.bytes;
+      if (e.to == node.commOut && e.kind == ir::DepKind::Flow) outBytes += e.bytes;
+    }
+    outBytes += 8 * static_cast<long long>(node.reductionVars.size());
+
+    const int header = emit(core, 0.0, std::move(preds), {}, node.label + ":hdr");
+
+    std::vector<int> chunkTasks;
+    std::vector<int> borrowed;
+    std::vector<std::pair<int, double>> joinTransfers;
+    for (int t = 0; t < T; ++t) {
+      const double iters = cand.chunkIterations[static_cast<std::size_t>(t)];
+      if (iters <= 0 && t != 0) continue;
+      int taskCore = core;
+      double spawn = 0.0;
+      if (t != 0) {
+        taskCore = acquireCore(cand.taskClass[static_cast<std::size_t>(t)]);
+        borrowed.push_back(taskCore);
+        spawn = runs * timing_.taskCreationSeconds();
+      }
+      const double frac = iters / iterations;
+      std::vector<std::pair<int, double>> transfers;
+      if (t != 0 && inBytes > 0)
+        transfers.emplace_back(header, runs * timing_.commSeconds(inBytes * frac));
+      const int seg = emit(
+          taskCore, spawn + runs * iters * seconds(taskCore, perIterMix), {header},
+          std::move(transfers), strings::format("%s:chunk%d", node.label.c_str(), t));
+      chunkTasks.push_back(seg);
+      if (t != 0 && outBytes > 0)
+        joinTransfers.emplace_back(seg, runs * timing_.commSeconds(outBytes * frac));
+    }
+
+    const int join =
+        emit(core, 0.0, chunkTasks, std::move(joinTransfers), node.label + ":join");
+    for (int c : borrowed) currentPool_->push_back(c);
+    return join;
+  }
+
+  const htg::Graph& graph_;
+  const SolutionTable& table_;
+  const cost::TimingModel& timing_;
+  FlattenOptions options_;
+  TaskGraph out_;
+  std::vector<int>* currentPool_ = nullptr;
+  std::size_t roundRobinNext_ = 0;
+};
+
+}  // namespace
+
+FlattenResult flatten(const htg::Graph& graph, const SolutionTable& table,
+                      SolutionRef rootChoice, const cost::TimingModel& realTiming, int mainCore,
+                      FlattenOptions options) {
+  return Flattener(graph, table, realTiming, options).run(rootChoice, mainCore);
+}
+
+FlattenResult flattenSequential(const htg::Graph& graph, const cost::TimingModel& realTiming,
+                                int mainCore) {
+  FlattenResult result;
+  result.graph.numCores = realTiming.platform().numCores();
+  SimTask t;
+  t.core = mainCore;
+  t.computeSeconds = realTiming.seconds(realTiming.platform().classOfCore(mainCore),
+                                        graph.subtreeMixPerExec(graph.root()));
+  t.label = "sequential";
+  result.finalTask = result.graph.addTask(std::move(t));
+  return result;
+}
+
+}  // namespace hetpar::sched

@@ -1,0 +1,47 @@
+// Flattens a chosen hierarchical solution into an executable TaskGraph
+// (the "IMPLEMENTBESTSOLUTION" step of Algorithm 1, targeting our simulator
+// instead of the ATOMIUM tool chain).
+//
+// Times are *re-derived* from the HTG's profiled operation counts against
+// the real platform — never copied from the planning-time candidates. This
+// is what makes the homogeneous-baseline comparison honest: the baseline
+// planned against a uniform platform view, but its tasks execute at the real
+// cores' speeds (paper Section VI: "the faster processors have to wait until
+// the slower cores have finished their tasks").
+//
+// Core allocation is hierarchical: each task of a region receives its own
+// core plus a carved-out sub-pool covering the nested solutions of the
+// children it hosts (the Eq 14-16 budget guarantees this always fits).
+#pragma once
+
+#include "hetpar/cost/timing.hpp"
+#include "hetpar/htg/graph.hpp"
+#include "hetpar/parallel/solution.hpp"
+#include "hetpar/sched/taskgraph.hpp"
+
+namespace hetpar::sched {
+
+struct FlattenOptions {
+  /// true: honor the candidates' task-to-class mapping (heterogeneous tool,
+  /// pre-mapping specification). false: ignore classes and hand out cores
+  /// round-robin (how a heterogeneity-oblivious tool's output gets mapped).
+  bool classAwareAllocation = true;
+};
+
+struct FlattenResult {
+  TaskGraph graph;
+  int finalTask = -1;  ///< completion of this task = program completion
+};
+
+/// Expands the solution tree rooted at `rootChoice` into a TaskGraph.
+/// `realTiming` must wrap the *actual* platform; `mainCore` is the physical
+/// core running the main task (the measurement baseline core).
+FlattenResult flatten(const htg::Graph& graph, const parallel::SolutionTable& table,
+                      parallel::SolutionRef rootChoice, const cost::TimingModel& realTiming,
+                      int mainCore, FlattenOptions options = {});
+
+/// Sequential reference: the whole program as one task on `mainCore`.
+FlattenResult flattenSequential(const htg::Graph& graph, const cost::TimingModel& realTiming,
+                                int mainCore);
+
+}  // namespace hetpar::sched

@@ -1,0 +1,36 @@
+#include "hetpar/sched/taskgraph.hpp"
+
+#include "hetpar/support/strings.hpp"
+
+namespace hetpar::sched {
+
+std::vector<std::string> TaskGraph::validate() const {
+  std::vector<std::string> problems;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const SimTask& t = tasks[i];
+    if (t.id != static_cast<int>(i))
+      problems.push_back(strings::format("task %zu has id %d", i, t.id));
+    if (t.core < 0 || t.core >= numCores)
+      problems.push_back(strings::format("task %d on invalid core %d", t.id, t.core));
+    if (t.computeSeconds < 0)
+      problems.push_back(strings::format("task %d has negative compute", t.id));
+    for (int p : t.preds)
+      if (p < 0 || p >= t.id)
+        problems.push_back(strings::format("task %d has non-topological pred %d", t.id, p));
+    for (const auto& [p, secs] : t.transfers) {
+      if (p < 0 || p >= t.id)
+        problems.push_back(strings::format("task %d has non-topological transfer from %d", t.id, p));
+      if (secs < 0)
+        problems.push_back(strings::format("task %d has negative transfer time", t.id));
+    }
+  }
+  return problems;
+}
+
+double TaskGraph::totalComputeSeconds() const {
+  double total = 0.0;
+  for (const SimTask& t : tasks) total += t.computeSeconds;
+  return total;
+}
+
+}  // namespace hetpar::sched

@@ -1,0 +1,44 @@
+// Flat task graph: the executable form of a chosen parallel solution.
+//
+// Produced by the flattener (hetpar/sched/flatten.hpp) and consumed by the
+// MPSoC simulator. Each task is a contiguous piece of work statically
+// assigned to one physical core; edges carry precedence and, for cut
+// data-flow edges, bus-transfer durations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hetpar::sched {
+
+struct SimTask {
+  int id = -1;
+  int core = 0;                 ///< physical core executing this task
+  double computeSeconds = 0.0;  ///< busy time on that core (spawn overhead folded in)
+  std::vector<int> preds;       ///< tasks that must finish before this starts
+  /// Bus transfers that must arrive before this task starts:
+  /// (producer task id, transfer duration on the shared bus).
+  std::vector<std::pair<int, double>> transfers;
+  std::string label;
+};
+
+struct TaskGraph {
+  std::vector<SimTask> tasks;
+  int numCores = 1;
+
+  int addTask(SimTask t) {
+    t.id = static_cast<int>(tasks.size());
+    tasks.push_back(std::move(t));
+    return tasks.back().id;
+  }
+
+  /// Structural checks: ids consistent, preds/transfers reference earlier
+  /// tasks (the flattener emits in topological order), cores in range.
+  /// Returns problems; empty = OK.
+  std::vector<std::string> validate() const;
+
+  /// Sum of all compute seconds (the work the cores must perform).
+  double totalComputeSeconds() const;
+};
+
+}  // namespace hetpar::sched

@@ -1,0 +1,44 @@
+#include "hetpar/sim/energy.hpp"
+
+#include "hetpar/support/error.hpp"
+
+namespace hetpar::sim {
+
+namespace {
+// Derived defaults: ~1 mW per MHz active (ARM9-class cores), 12% leak idle.
+constexpr double kWattsPerMHz = 1e-3;
+constexpr double kIdleFraction = 0.12;
+// Shared bus power while transferring.
+constexpr double kBusWatts = 0.08;
+}  // namespace
+
+double activeWatts(const platform::ProcessorClass& pc) {
+  return pc.wattsActive > 0 ? pc.wattsActive : pc.frequencyMHz * kWattsPerMHz;
+}
+
+double idleWatts(const platform::ProcessorClass& pc) {
+  if (pc.wattsIdle > 0) return pc.wattsIdle;
+  return kIdleFraction * activeWatts(pc);
+}
+
+EnergyReport energyOf(const SimReport& report, const sched::TaskGraph& graph,
+                      const platform::Platform& pf) {
+  require(graph.numCores == pf.numCores(),
+          "task graph and platform disagree on the core count");
+  EnergyReport energy;
+  energy.coreJoules.assign(static_cast<std::size_t>(graph.numCores), 0.0);
+  const double makespan = report.makespanSeconds;
+  for (int core = 0; core < graph.numCores; ++core) {
+    const platform::ProcessorClass& pc = pf.classAt(pf.classOfCore(core));
+    const double busy = report.cores[static_cast<std::size_t>(core)].busySeconds;
+    const double idle = std::max(0.0, makespan - busy);
+    const double joules = busy * activeWatts(pc) + idle * idleWatts(pc);
+    energy.coreJoules[static_cast<std::size_t>(core)] = joules;
+    energy.totalJoules += joules;
+  }
+  energy.busJoules = report.busBusySeconds * kBusWatts;
+  energy.totalJoules += energy.busJoules;
+  return energy;
+}
+
+}  // namespace hetpar::sim

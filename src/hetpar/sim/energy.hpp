@@ -1,0 +1,40 @@
+// Energy accounting over simulation reports (the paper's future work:
+// "we will also consider taking other objectives into account, like, e.g.,
+// energy consumption").
+//
+// Per-core energy = busy time x active power + idle time x idle power,
+// evaluated over the program's makespan; the shared bus adds transfer
+// energy. Default per-class powers derive from frequency (approximately
+// linear in f for same-ISA cores at a fixed voltage step); platform files
+// can override them per class (`watts_active` / `watts_idle`).
+#pragma once
+
+#include <vector>
+
+#include "hetpar/platform/platform.hpp"
+#include "hetpar/sched/taskgraph.hpp"
+#include "hetpar/sim/mpsoc.hpp"
+
+namespace hetpar::sim {
+
+struct EnergyReport {
+  double totalJoules = 0.0;
+  double busJoules = 0.0;
+  std::vector<double> coreJoules;  ///< per physical core
+
+  /// Energy-delay product, a common embedded figure of merit.
+  double edp(double makespanSeconds) const { return totalJoules * makespanSeconds; }
+};
+
+/// Active power of a processor class in watts (override or derived default).
+double activeWatts(const platform::ProcessorClass& pc);
+/// Idle power of a processor class in watts.
+double idleWatts(const platform::ProcessorClass& pc);
+
+/// Computes the energy of a simulated execution. All cores are powered for
+/// the whole makespan (no power gating), which is what makes "slow main
+/// core + fast accelerators finishing early" interesting energy-wise.
+EnergyReport energyOf(const SimReport& report, const sched::TaskGraph& graph,
+                      const platform::Platform& pf);
+
+}  // namespace hetpar::sim

@@ -1,0 +1,25 @@
+#include "hetpar/sim/engine.hpp"
+
+#include "hetpar/support/error.hpp"
+
+namespace hetpar::sim {
+
+void Engine::schedule(double when, Action action) {
+  HETPAR_CHECK_MSG(when >= now_ - 1e-15, "cannot schedule events in the past");
+  queue_.push(Event{when, seq_++, std::move(action)});
+}
+
+double Engine::run() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the action is moved out via const_cast,
+    // which is safe because the element is popped immediately after.
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = e.when;
+    ++processed_;
+    e.action();
+  }
+  return now_;
+}
+
+}  // namespace hetpar::sim

@@ -1,0 +1,46 @@
+// Minimal discrete-event engine: a time-ordered queue of closures.
+//
+// Kept generic so the MPSoC model (hetpar/sim/mpsoc.hpp) reads as plain
+// domain logic; also reused by tests to build tiny custom simulations.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hetpar::sim {
+
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `when` (>= now()).
+  void schedule(double when, Action action);
+
+  /// Runs until the event queue drains. Returns the time of the last event.
+  double run();
+
+  double now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t eventsProcessed() const { return processed_; }
+
+ private:
+  struct Event {
+    double when;
+    std::size_t seq;  ///< FIFO among simultaneous events
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::size_t seq_ = 0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace hetpar::sim

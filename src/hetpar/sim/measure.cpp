@@ -1,0 +1,101 @@
+#include "hetpar/sim/measure.hpp"
+
+#include "hetpar/htg/builder.hpp"
+#include "hetpar/htg/validate.hpp"
+#include "hetpar/parallel/homogeneous.hpp"
+#include "hetpar/sched/flatten.hpp"
+#include "hetpar/sim/mpsoc.hpp"
+
+namespace hetpar::sim {
+
+platform::ClassId mainClassFor(const platform::Platform& pf, Scenario scenario) {
+  return scenario == Scenario::Accelerator ? pf.slowestClass() : pf.fastestClass();
+}
+
+namespace {
+
+/// Fills one scenario's numbers given an already-computed heterogeneous
+/// parallelization outcome.
+EvalResult evaluateScenario(const std::string& name, htg::FrontendBundle& bundle,
+                            const platform::Platform& pf, Scenario scenario,
+                            const parallel::ParallelizeOutcome& hetOutcome,
+                            const EvalOptions& options) {
+  EvalResult result;
+  result.benchmark = name;
+  result.mainClass = mainClassFor(pf, scenario);
+  result.theoreticalLimit = pf.theoreticalMaxSpeedup(result.mainClass);
+
+  const cost::TimingModel realTiming(pf);
+  const int mainCore = pf.firstCoreOfClass(result.mainClass);
+
+  // Baseline: sequential on the main processor.
+  {
+    const sched::FlattenResult seq = sched::flattenSequential(bundle.graph, realTiming, mainCore);
+    result.sequentialSeconds = simulate(seq.graph).makespanSeconds;
+  }
+
+  // Heterogeneous tool: honor the task-to-class pre-mapping.
+  {
+    result.heterogeneousStats = hetOutcome.stats;
+    const parallel::SolutionRef best = hetOutcome.bestRoot(bundle.graph, result.mainClass);
+    sched::FlattenOptions fo;
+    fo.classAwareAllocation = true;
+    const sched::FlattenResult flat =
+        sched::flatten(bundle.graph, hetOutcome.table, best, realTiming, mainCore, fo);
+    result.heterogeneousSeconds = simulate(flat.graph).makespanSeconds;
+    result.heterogeneousSpeedup = result.sequentialSeconds / result.heterogeneousSeconds;
+  }
+
+  // Homogeneous baseline [6]: plans against a uniform view of the platform
+  // (all cores look like the main one); its tasks land on the real cores
+  // round-robin, oblivious to classes.
+  if (options.runHomogeneousBaseline) {
+    parallel::HomogeneousRun homog = parallel::runHomogeneousBaseline(
+        bundle.graph, pf, result.mainClass, options.parallelizer);
+    result.homogeneousStats = homog.outcome.stats;
+    const parallel::SolutionRef best = homog.outcome.bestRoot(bundle.graph, 0);
+    sched::FlattenOptions fo;
+    fo.classAwareAllocation = false;
+    const sched::FlattenResult flat =
+        sched::flatten(bundle.graph, homog.outcome.table, best, realTiming, mainCore, fo);
+    result.homogeneousSeconds = simulate(flat.graph).makespanSeconds;
+    result.homogeneousSpeedup = result.sequentialSeconds / result.homogeneousSeconds;
+  }
+  return result;
+}
+
+parallel::ParallelizeOutcome runHeterogeneous(htg::FrontendBundle& bundle,
+                                              const platform::Platform& pf,
+                                              const EvalOptions& options) {
+  const cost::TimingModel timing(pf);
+  parallel::Parallelizer tool(bundle.graph, timing, options.parallelizer);
+  return tool.run();
+}
+
+}  // namespace
+
+EvalResult evaluateBenchmark(const std::string& name, const std::string& source,
+                             const platform::Platform& pf, Scenario scenario,
+                             const EvalOptions& options) {
+  htg::FrontendBundle bundle = htg::buildFromSource(source);
+  htg::validateOrThrow(bundle.graph);
+  const parallel::ParallelizeOutcome hetOutcome = runHeterogeneous(bundle, pf, options);
+  return evaluateScenario(name, bundle, pf, scenario, hetOutcome, options);
+}
+
+ScenarioResults evaluateBenchmarkAllScenarios(const std::string& name,
+                                              const std::string& source,
+                                              const platform::Platform& pf,
+                                              const EvalOptions& options) {
+  htg::FrontendBundle bundle = htg::buildFromSource(source);
+  htg::validateOrThrow(bundle.graph);
+  const parallel::ParallelizeOutcome hetOutcome = runHeterogeneous(bundle, pf, options);
+  ScenarioResults results;
+  results.accelerator =
+      evaluateScenario(name, bundle, pf, Scenario::Accelerator, hetOutcome, options);
+  results.slowerCores =
+      evaluateScenario(name, bundle, pf, Scenario::SlowerCores, hetOutcome, options);
+  return results;
+}
+
+}  // namespace hetpar::sim

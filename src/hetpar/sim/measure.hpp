@@ -1,0 +1,64 @@
+// Evaluation harness (paper Section V-VI): parallelize a benchmark with the
+// heterogeneous tool and the homogeneous baseline [6], implement both
+// solutions, and measure speedups on the simulated MPSoC. The measurement
+// baseline is "the sequential execution on the main processor".
+#pragma once
+
+#include <string>
+
+#include "hetpar/parallel/parallelizer.hpp"
+#include "hetpar/platform/platform.hpp"
+
+namespace hetpar::sim {
+
+/// The two application scenarios of Section VI-A.
+enum class Scenario {
+  Accelerator,  ///< (I) slow main core, faster cores act as accelerators
+  SlowerCores,  ///< (II) fast main core, slower cores added to the platform
+};
+
+/// Main-core class for a scenario on a platform.
+platform::ClassId mainClassFor(const platform::Platform& pf, Scenario scenario);
+
+struct EvalOptions {
+  parallel::ParallelizerOptions parallelizer;
+  bool runHomogeneousBaseline = true;
+};
+
+struct EvalResult {
+  std::string benchmark;
+  platform::ClassId mainClass = 0;
+  double sequentialSeconds = 0.0;  ///< simulated, on the main core
+
+  double heterogeneousSeconds = 0.0;
+  double heterogeneousSpeedup = 0.0;
+  parallel::IlpStatistics heterogeneousStats;
+
+  double homogeneousSeconds = 0.0;
+  double homogeneousSpeedup = 0.0;
+  parallel::IlpStatistics homogeneousStats;
+
+  double theoreticalLimit = 0.0;  ///< paper's dashed line
+};
+
+/// Full pipeline: parse/profile/HTG + both parallelizers + flatten +
+/// simulate. Throws hetpar::Error on malformed input.
+EvalResult evaluateBenchmark(const std::string& name, const std::string& source,
+                             const platform::Platform& pf, Scenario scenario,
+                             const EvalOptions& options = {});
+
+/// Both scenarios at once. The heterogeneous parallelization depends only on
+/// the platform, so it runs a single time and serves both scenarios; the
+/// homogeneous baseline re-plans per scenario (its uniform platform view
+/// derives from the scenario's main core).
+struct ScenarioResults {
+  EvalResult accelerator;
+  EvalResult slowerCores;
+};
+
+ScenarioResults evaluateBenchmarkAllScenarios(const std::string& name,
+                                              const std::string& source,
+                                              const platform::Platform& pf,
+                                              const EvalOptions& options = {});
+
+}  // namespace hetpar::sim

@@ -1,0 +1,123 @@
+#include "hetpar/sim/mpsoc.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "hetpar/sim/engine.hpp"
+#include "hetpar/support/error.hpp"
+
+namespace hetpar::sim {
+
+namespace {
+
+struct TaskState {
+  int waitingPreds = 0;
+  int waitingTransfers = 0;
+  bool started = false;
+  bool finished = false;
+};
+
+}  // namespace
+
+SimReport simulate(const sched::TaskGraph& graph) {
+  {
+    const auto problems = graph.validate();
+    require(problems.empty(),
+            "cannot simulate invalid task graph: " + (problems.empty() ? "" : problems[0]));
+  }
+
+  const int numTasks = static_cast<int>(graph.tasks.size());
+  SimReport report;
+  report.taskStart.assign(static_cast<std::size_t>(numTasks), -1.0);
+  report.taskFinish.assign(static_cast<std::size_t>(numTasks), -1.0);
+  report.cores.assign(static_cast<std::size_t>(graph.numCores), {});
+
+  Engine engine;
+  std::vector<TaskState> state(static_cast<std::size_t>(numTasks));
+  std::vector<std::vector<int>> dependents(static_cast<std::size_t>(numTasks));
+  // transfersOut[p] = (consumer, duration) transfers issued when p finishes.
+  std::vector<std::vector<std::pair<int, double>>> transfersOut(
+      static_cast<std::size_t>(numTasks));
+
+  for (int i = 0; i < numTasks; ++i) {
+    const sched::SimTask& t = graph.tasks[static_cast<std::size_t>(i)];
+    std::set<int> uniquePreds(t.preds.begin(), t.preds.end());
+    state[static_cast<std::size_t>(i)].waitingPreds = static_cast<int>(uniquePreds.size());
+    for (int p : uniquePreds) dependents[static_cast<std::size_t>(p)].push_back(i);
+    state[static_cast<std::size_t>(i)].waitingTransfers = static_cast<int>(t.transfers.size());
+    for (const auto& [p, secs] : t.transfers)
+      transfersOut[static_cast<std::size_t>(p)].emplace_back(i, secs);
+  }
+
+  std::vector<bool> coreBusy(static_cast<std::size_t>(graph.numCores), false);
+  // Ready tasks per core, ordered by task id (program order).
+  std::vector<std::set<int>> readyOnCore(static_cast<std::size_t>(graph.numCores));
+  double busFreeAt = 0.0;
+
+  // Forward declarations via std::function to allow mutual recursion.
+  std::function<void(int)> maybeStart;
+  std::function<void(int)> finishTask;
+
+  auto tryDispatch = [&](int core) {
+    if (coreBusy[static_cast<std::size_t>(core)]) return;
+    auto& ready = readyOnCore[static_cast<std::size_t>(core)];
+    if (ready.empty()) return;
+    const int task = *ready.begin();
+    ready.erase(ready.begin());
+    coreBusy[static_cast<std::size_t>(core)] = true;
+    state[static_cast<std::size_t>(task)].started = true;
+    report.taskStart[static_cast<std::size_t>(task)] = engine.now();
+    const double dur = graph.tasks[static_cast<std::size_t>(task)].computeSeconds;
+    report.cores[static_cast<std::size_t>(core)].busySeconds += dur;
+    ++report.cores[static_cast<std::size_t>(core)].tasksRun;
+    engine.schedule(engine.now() + dur, [&, task] { finishTask(task); });
+  };
+
+  maybeStart = [&](int task) {
+    TaskState& st = state[static_cast<std::size_t>(task)];
+    if (st.started || st.waitingPreds > 0 || st.waitingTransfers > 0) return;
+    const int core = graph.tasks[static_cast<std::size_t>(task)].core;
+    readyOnCore[static_cast<std::size_t>(core)].insert(task);
+    tryDispatch(core);
+  };
+
+  finishTask = [&](int task) {
+    TaskState& st = state[static_cast<std::size_t>(task)];
+    st.finished = true;
+    report.taskFinish[static_cast<std::size_t>(task)] = engine.now();
+    const int core = graph.tasks[static_cast<std::size_t>(task)].core;
+    coreBusy[static_cast<std::size_t>(core)] = false;
+
+    // Issue outbound transfers, serialized on the shared bus.
+    for (const auto& [consumer, secs] : transfersOut[static_cast<std::size_t>(task)]) {
+      const double start = std::max(engine.now(), busFreeAt);
+      busFreeAt = start + secs;
+      report.busBusySeconds += secs;
+      ++report.busTransfers;
+      const int c = consumer;
+      engine.schedule(busFreeAt, [&, c] {
+        --state[static_cast<std::size_t>(c)].waitingTransfers;
+        maybeStart(c);
+      });
+    }
+    for (int d : dependents[static_cast<std::size_t>(task)]) {
+      --state[static_cast<std::size_t>(d)].waitingPreds;
+      maybeStart(d);
+    }
+    tryDispatch(core);
+  };
+
+  // Seed: tasks with no preds/transfers.
+  for (int i = 0; i < numTasks; ++i) {
+    const int task = i;
+    engine.schedule(0.0, [&, task] { maybeStart(task); });
+  }
+
+  report.makespanSeconds = engine.run();
+  for (int i = 0; i < numTasks; ++i)
+    require(state[static_cast<std::size_t>(i)].finished,
+            "simulation deadlocked: task graph is not well-formed");
+  return report;
+}
+
+}  // namespace hetpar::sim

@@ -1,0 +1,35 @@
+#include "hetpar/support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace hetpar::log {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(Level::Warn)};
+
+const char* name(Level lvl) {
+  switch (lvl) {
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO";
+    case Level::Warn: return "WARN";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Level level() { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
+
+Level setLevel(Level lvl) {
+  return static_cast<Level>(
+      g_level.exchange(static_cast<int>(lvl), std::memory_order_relaxed));
+}
+
+void emit(Level lvl, const std::string& message) {
+  if (static_cast<int>(lvl) < g_level.load(std::memory_order_relaxed)) return;
+  std::fprintf(stderr, "[hetpar %s] %s\n", name(lvl), message.c_str());
+}
+
+}  // namespace hetpar::log

@@ -1,0 +1,61 @@
+// Minimal leveled logger.
+//
+// hetpar libraries log at most at `Debug`/`Info`; tools may raise the level.
+// Logging is process-global and not synchronized across threads beyond the
+// atomicity of the level; hetpar itself is single-threaded by design (the
+// parallelism it produces is in the *target* program, not the tool).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hetpar::log {
+
+enum class Level : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Returns the current global log level.
+Level level();
+
+/// Sets the global log level. Returns the previous level.
+Level setLevel(Level lvl);
+
+/// Emits one log line at `lvl` if `lvl >= level()`.
+void emit(Level lvl, const std::string& message);
+
+namespace detail {
+class LineStream {
+ public:
+  explicit LineStream(Level lvl) : lvl_(lvl) {}
+  LineStream(const LineStream&) = delete;
+  LineStream& operator=(const LineStream&) = delete;
+  ~LineStream() { emit(lvl_, os_.str()); }
+  template <class T>
+  LineStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline detail::LineStream debug() { return detail::LineStream(Level::Debug); }
+inline detail::LineStream info() { return detail::LineStream(Level::Info); }
+inline detail::LineStream warn() { return detail::LineStream(Level::Warn); }
+inline detail::LineStream error() { return detail::LineStream(Level::Error); }
+
+/// RAII guard that restores the previous log level on destruction.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(Level lvl) : prev_(setLevel(lvl)) {}
+  ScopedLevel(const ScopedLevel&) = delete;
+  ScopedLevel& operator=(const ScopedLevel&) = delete;
+  ~ScopedLevel() { setLevel(prev_); }
+
+ private:
+  Level prev_;
+};
+
+}  // namespace hetpar::log

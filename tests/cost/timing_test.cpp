@@ -1,0 +1,80 @@
+#include "hetpar/cost/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetpar/platform/presets.hpp"
+
+namespace hetpar::cost {
+namespace {
+
+TEST(OpMix, ArithmeticAndTotals) {
+  OpMix a;
+  a.of(OpKind::IntAlu) = 10.0;
+  a.of(OpKind::FloatAlu) = 20.0;
+  OpMix b;
+  b.of(OpKind::Memory) = 5.0;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.total(), 35.0);
+  const OpMix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.total(), 70.0);
+  EXPECT_DOUBLE_EQ(scaled.of(OpKind::Memory), 10.0);
+  EXPECT_DOUBLE_EQ(a.total(), 35.0) << "operator* must not mutate";
+}
+
+TEST(OpMix, MinusClampedNeverNegative) {
+  OpMix a;
+  a.of(OpKind::IntAlu) = 10.0;
+  a.of(OpKind::Control) = 2.0;
+  OpMix b;
+  b.of(OpKind::IntAlu) = 4.0;
+  b.of(OpKind::Control) = 5.0;  // more than a has
+  const OpMix d = a.minusClamped(b);
+  EXPECT_DOUBLE_EQ(d.of(OpKind::IntAlu), 6.0);
+  EXPECT_DOUBLE_EQ(d.of(OpKind::Control), 0.0);
+}
+
+TEST(TimingModel, ScalarAndMixAgreeOnSameIsa) {
+  const platform::Platform pf = platform::platformA();
+  const TimingModel tm(pf);
+  OpMix mix;
+  mix.of(OpKind::IntAlu) = 400.0;
+  mix.of(OpKind::FloatAlu) = 300.0;
+  mix.of(OpKind::Memory) = 200.0;
+  mix.of(OpKind::Control) = 100.0;
+  for (platform::ClassId c = 0; c < pf.numClasses(); ++c)
+    EXPECT_NEAR(tm.seconds(c, mix), tm.seconds(c, 1000.0), 1e-15)
+        << "kindFactor defaults must reproduce the scalar path";
+}
+
+TEST(TimingModel, SecondsInverselyProportionalToFrequency) {
+  const platform::Platform pf = platform::platformA();
+  const TimingModel tm(pf);
+  const platform::ClassId slow = pf.slowestClass();
+  const platform::ClassId fast = pf.fastestClass();
+  EXPECT_NEAR(tm.seconds(slow, 1e6) / tm.seconds(fast, 1e6), 5.0, 1e-12);
+}
+
+TEST(TimingModel, CommAndTco) {
+  const platform::Platform pf = platform::platformB();
+  const TimingModel tm(pf);
+  EXPECT_DOUBLE_EQ(tm.taskCreationSeconds(), pf.taskCreationOverheadSeconds());
+  EXPECT_DOUBLE_EQ(tm.commSeconds(0), 0.0);
+  EXPECT_GT(tm.commSeconds(1), 0.0);
+  EXPECT_GT(tm.commSeconds(1 << 20), tm.commSeconds(1 << 10));
+}
+
+TEST(TimingModel, CrossIsaFactorsChangeRanking) {
+  const platform::Platform pf = platform::crossIsaDemo();
+  const TimingModel tm(pf);
+  const platform::ClassId gpp = pf.findClass("gpp");
+  const platform::ClassId dsp = pf.findClass("dsp");
+  OpMix floats;
+  floats.of(OpKind::FloatAlu) = 1000.0;
+  OpMix branches;
+  branches.of(OpKind::Control) = 1000.0;
+  EXPECT_LT(tm.seconds(dsp, floats), tm.seconds(gpp, floats));
+  EXPECT_GT(tm.seconds(dsp, branches), tm.seconds(gpp, branches));
+}
+
+}  // namespace
+}  // namespace hetpar::cost

@@ -1,0 +1,21 @@
+/* Sample input for hetparc: a three-stage array pipeline. */
+int src[4096];
+int mid[4096];
+int dst[4096];
+
+int main() {
+  for (int i = 0; i < 4096; i = i + 1) {
+    src[i] = (i * 13 + 7) % 101;
+  }
+  for (int i = 0; i < 4096; i = i + 1) {
+    mid[i] = src[i] * src[i] + 3;
+  }
+  for (int i = 0; i < 4096; i = i + 1) {
+    dst[i] = mid[i] / 2 + src[i];
+  }
+  int sum = 0;
+  for (int i = 0; i < 4096; i = i + 1) {
+    sum = sum + dst[i];
+  }
+  return sum;
+}

@@ -1,0 +1,94 @@
+#include "hetpar/frontend/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetpar/support/error.hpp"
+
+namespace hetpar::frontend {
+namespace {
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  auto toks = tokenize("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_TRUE(toks[0].is(TokenKind::EndOfFile));
+}
+
+TEST(Lexer, IdentifiersAndKeywords) {
+  auto toks = tokenize("int foo _bar if elsewhere");
+  EXPECT_TRUE(toks[0].isKeyword("int"));
+  EXPECT_TRUE(toks[1].is(TokenKind::Identifier));
+  EXPECT_EQ(toks[1].text, "foo");
+  EXPECT_EQ(toks[2].text, "_bar");
+  EXPECT_TRUE(toks[3].isKeyword("if"));
+  EXPECT_TRUE(toks[4].is(TokenKind::Identifier)) << "'elsewhere' must not lex as keyword";
+}
+
+TEST(Lexer, IntegerLiterals) {
+  auto toks = tokenize("0 42 123456");
+  EXPECT_EQ(toks[0].intValue, 0);
+  EXPECT_EQ(toks[1].intValue, 42);
+  EXPECT_EQ(toks[2].intValue, 123456);
+  EXPECT_TRUE(toks[1].is(TokenKind::IntLiteral));
+}
+
+TEST(Lexer, FloatLiterals) {
+  auto toks = tokenize("1.5 0.25 2e3 1.5e-2 3.0f");
+  EXPECT_TRUE(toks[0].is(TokenKind::FloatLiteral));
+  EXPECT_DOUBLE_EQ(toks[0].floatValue, 1.5);
+  EXPECT_DOUBLE_EQ(toks[1].floatValue, 0.25);
+  EXPECT_DOUBLE_EQ(toks[2].floatValue, 2000.0);
+  EXPECT_DOUBLE_EQ(toks[3].floatValue, 0.015);
+  EXPECT_DOUBLE_EQ(toks[4].floatValue, 3.0);
+}
+
+TEST(Lexer, TwoCharOperatorsMatchGreedily) {
+  auto toks = tokenize("<= >= == != && || ++ --");
+  EXPECT_TRUE(toks[0].isPunct("<="));
+  EXPECT_TRUE(toks[1].isPunct(">="));
+  EXPECT_TRUE(toks[2].isPunct("=="));
+  EXPECT_TRUE(toks[3].isPunct("!="));
+  EXPECT_TRUE(toks[4].isPunct("&&"));
+  EXPECT_TRUE(toks[5].isPunct("||"));
+  EXPECT_TRUE(toks[6].isPunct("++"));
+  EXPECT_TRUE(toks[7].isPunct("--"));
+}
+
+TEST(Lexer, SingleCharOperators) {
+  auto toks = tokenize("a<b;c[2]");
+  EXPECT_TRUE(toks[1].isPunct("<"));
+  EXPECT_TRUE(toks[3].isPunct(";"));
+  EXPECT_TRUE(toks[5].isPunct("["));
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  auto toks = tokenize("a // everything here vanishes\nb");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, BlockCommentsSkipped) {
+  auto toks = tokenize("a /* multi\nline */ b");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].loc.line, 2);
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows) {
+  EXPECT_THROW(tokenize("a /* never closed"), ParseError);
+}
+
+TEST(Lexer, UnknownCharacterThrows) {
+  EXPECT_THROW(tokenize("a $ b"), ParseError);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto toks = tokenize("a\n  b");
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[0].loc.column, 1);
+  EXPECT_EQ(toks[1].loc.line, 2);
+  EXPECT_EQ(toks[1].loc.column, 3);
+}
+
+}  // namespace
+}  // namespace hetpar::frontend

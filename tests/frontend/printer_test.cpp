@@ -1,0 +1,104 @@
+#include "hetpar/frontend/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetpar/frontend/parser.hpp"
+
+namespace hetpar::frontend {
+namespace {
+
+std::string roundTrip(const char* src) {
+  Program p = parseProgram(src);
+  return printProgram(p);
+}
+
+TEST(Printer, ExpressionsParenthesizeExplicitly) {
+  Program p = parseProgram("int main() { int x = 1 + 2 * 3 - 4; return x; }");
+  const auto& d = static_cast<const DeclStmt&>(*p.functions[0]->body[0]);
+  // Fully parenthesized output leaves no precedence ambiguity.
+  EXPECT_EQ(printExpr(*d.init), "((1 + (2 * 3)) - 4)");
+}
+
+TEST(Printer, FloatLiteralsKeepDecimalPoint) {
+  Program p = parseProgram("int main() { double d = 2.0; double e = 0.5; return 0; }");
+  const std::string out = printProgram(p);
+  EXPECT_NE(out.find("2.0"), std::string::npos)
+      << "integral-valued float literals must not print as ints";
+  EXPECT_NE(out.find("0.5"), std::string::npos);
+}
+
+TEST(Printer, ForHeaderPrintsInline) {
+  const std::string out = roundTrip(
+      "int main() { int s = 0; for (int i = 0; i < 4; i = i + 1) { s = s + i; } return s; }");
+  EXPECT_NE(out.find("for (int i = 0; (i < 4); i = (i + 1)) {"), std::string::npos);
+}
+
+TEST(Printer, ElseBranchRendered) {
+  const std::string out = roundTrip(
+      "int main() { int x = 1; if (x > 0) { x = 2; } else { x = 3; } return x; }");
+  EXPECT_NE(out.find("} else {"), std::string::npos);
+}
+
+TEST(Printer, ArrayDeclsAndIndexing) {
+  const std::string out = roundTrip(
+      "double m[3][4]; int main() { m[1][2] = 0.25; return 0; }");
+  EXPECT_NE(out.find("double m[3][4];"), std::string::npos);
+  EXPECT_NE(out.find("m[1][2] = 0.25;"), std::string::npos);
+}
+
+TEST(Printer, FunctionSignatures) {
+  const std::string out = roundTrip(
+      "void f(int n, float v[8]) { v[0] = n; } int main() { return 0; }");
+  EXPECT_NE(out.find("void f(int n, float v[8]) {"), std::string::npos);
+}
+
+TEST(Printer, HooksInjectBeforeStatements) {
+  Program p = parseProgram("int main() { int a = 1; int b = 2; return a + b; }");
+  PrintHooks hooks;
+  hooks.beforeStmt = [](const Stmt& s) -> std::string {
+    if (s.kind == StmtKind::Return) return "#pragma marker";
+    return {};
+  };
+  const std::string out = printProgram(p, &hooks);
+  const auto markerPos = out.find("#pragma marker");
+  const auto returnPos = out.find("return");
+  ASSERT_NE(markerPos, std::string::npos);
+  EXPECT_LT(markerPos, returnPos) << "hook text must precede its statement";
+}
+
+TEST(Printer, HooksIndentWithStatement) {
+  Program p = parseProgram(
+      "int main() { for (int i = 0; i < 2; i = i + 1) { i = i + 0; } return 0; }");
+  PrintHooks hooks;
+  hooks.beforeStmt = [](const Stmt& s) -> std::string {
+    return s.kind == StmtKind::Assign ? "#pragma inner" : "";
+  };
+  const std::string out = printProgram(p, &hooks);
+  EXPECT_NE(out.find("    #pragma inner"), std::string::npos)
+      << "pragma should share the loop body's indentation";
+}
+
+TEST(Printer, FixpointOnRepresentativeProgram) {
+  const char* src = R"(
+    int g = 3;
+    double buf[16];
+    int work(int k) {
+      int s = 0;
+      while (s < k) { s = s + 1; }
+      return s;
+    }
+    int main() {
+      for (int i = 0; i < 16; i = i + 1) {
+        if (i % 2 == 0) { buf[i] = sqrt(1.0 * i); } else { buf[i] = -1.0; }
+      }
+      return work(g);
+    }
+  )";
+  Program p1 = parseProgram(src);
+  const std::string once = printProgram(p1);
+  Program p2 = parseProgram(once);
+  EXPECT_EQ(printProgram(p2), once);
+}
+
+}  // namespace
+}  // namespace hetpar::frontend

@@ -1,0 +1,128 @@
+// Direct tests of the HTG validator on hand-built (including malformed)
+// graphs; builder_test covers the well-formed construction path.
+#include "hetpar/htg/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetpar/support/error.hpp"
+
+namespace hetpar::htg {
+namespace {
+
+/// Minimal well-formed graph: root with one Simple child + comm nodes.
+Graph tinyGraph() {
+  Graph g;
+  Node root;
+  root.kind = NodeKind::Root;
+  root.execCount = 1.0;
+  const NodeId rootId = g.addNode(std::move(root));
+  g.setRoot(rootId);
+
+  Node leaf;
+  leaf.kind = NodeKind::Simple;
+  leaf.parent = rootId;
+  leaf.execCount = 1.0;
+  leaf.opsPerExec = 10.0;
+  const NodeId leafId = g.addNode(std::move(leaf));
+
+  Node cin;
+  cin.kind = NodeKind::CommIn;
+  cin.parent = rootId;
+  cin.execCount = 1.0;
+  const NodeId cinId = g.addNode(std::move(cin));
+  Node cout;
+  cout.kind = NodeKind::CommOut;
+  cout.parent = rootId;
+  cout.execCount = 1.0;
+  const NodeId coutId = g.addNode(std::move(cout));
+
+  Node& r = g.node(rootId);
+  r.children = {leafId};
+  r.commIn = cinId;
+  r.commOut = coutId;
+  return g;
+}
+
+TEST(HtgValidate, WellFormedPasses) {
+  const Graph g = tinyGraph();
+  EXPECT_TRUE(validate(g).empty());
+  EXPECT_NO_THROW(validateOrThrow(g));
+}
+
+TEST(HtgValidate, NoRootFails) {
+  Graph g;
+  const auto problems = validate(g);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("no root"), std::string::npos);
+  EXPECT_THROW(validateOrThrow(g), InternalError);
+}
+
+TEST(HtgValidate, MissingCommNodesFail) {
+  Graph g = tinyGraph();
+  g.node(g.root()).commOut = kNoNode;
+  EXPECT_FALSE(validate(g).empty());
+}
+
+TEST(HtgValidate, BrokenParentLinkFails) {
+  Graph g = tinyGraph();
+  g.node(g.node(g.root()).children[0]).parent = kNoNode;
+  EXPECT_FALSE(validate(g).empty());
+}
+
+TEST(HtgValidate, NegativeCostsFail) {
+  Graph g = tinyGraph();
+  g.node(g.node(g.root()).children[0]).opsPerExec = -1.0;
+  EXPECT_FALSE(validate(g).empty());
+}
+
+TEST(HtgValidate, CommExecMismatchFails) {
+  Graph g = tinyGraph();
+  g.node(g.node(g.root()).commIn).execCount = 7.0;
+  EXPECT_FALSE(validate(g).empty());
+}
+
+TEST(HtgValidate, BackwardEdgeFails) {
+  Graph g = tinyGraph();
+  Node& root = g.node(g.root());
+  Edge e;
+  e.from = root.commOut;  // comm-out must never be a producer
+  e.to = root.children[0];
+  e.kind = ir::DepKind::Flow;
+  e.bytes = 4;
+  root.edges.push_back(e);
+  EXPECT_FALSE(validate(g).empty());
+}
+
+TEST(HtgValidate, SelfLoopFails) {
+  Graph g = tinyGraph();
+  Node& root = g.node(g.root());
+  Edge e;
+  e.from = root.children[0];
+  e.to = root.children[0];
+  root.edges.push_back(e);
+  EXPECT_FALSE(validate(g).empty());
+}
+
+TEST(HtgValidate, ForeignEdgeEndpointFails) {
+  Graph g = tinyGraph();
+  Node stray;
+  stray.kind = NodeKind::Simple;
+  stray.execCount = 1.0;
+  const NodeId strayId = g.addNode(std::move(stray));
+  Node& root = g.node(g.root());
+  Edge e;
+  e.from = root.children[0];
+  e.to = strayId;  // not a child of root
+  root.edges.push_back(e);
+  EXPECT_FALSE(validate(g).empty());
+}
+
+TEST(HtgValidate, HierarchicalLeafMustBeSimple) {
+  Graph g = tinyGraph();
+  // Turn the leaf into a childless Loop: violates "all leaves are Simple".
+  g.node(g.node(g.root()).children[0]).kind = NodeKind::Loop;
+  EXPECT_FALSE(validate(g).empty());
+}
+
+}  // namespace
+}  // namespace hetpar::htg

@@ -1,0 +1,95 @@
+#include "hetpar/ilp/expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetpar::ilp {
+namespace {
+
+TEST(LinearExpr, DefaultIsZero) {
+  LinearExpr e;
+  EXPECT_TRUE(e.isConstant());
+  EXPECT_DOUBLE_EQ(e.constant(), 0.0);
+  EXPECT_EQ(e.size(), 0u);
+}
+
+TEST(LinearExpr, ImplicitConversions) {
+  LinearExpr c = 3.5;
+  EXPECT_TRUE(c.isConstant());
+  EXPECT_DOUBLE_EQ(c.constant(), 3.5);
+
+  Var x(0);
+  LinearExpr v = x;
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v.coefficient(x), 1.0);
+}
+
+TEST(LinearExpr, TermFactory) {
+  Var x(2);
+  LinearExpr e = LinearExpr::term(4.0, x);
+  EXPECT_DOUBLE_EQ(e.coefficient(x), 4.0);
+  LinearExpr zero = LinearExpr::term(0.0, x);
+  EXPECT_TRUE(zero.isConstant());
+}
+
+TEST(LinearExpr, AdditionMergesTerms) {
+  Var x(0), y(1);
+  LinearExpr e = LinearExpr(x) + LinearExpr(y) + LinearExpr(x);
+  EXPECT_EQ(e.size(), 2u);
+  EXPECT_DOUBLE_EQ(e.coefficient(x), 2.0);
+  EXPECT_DOUBLE_EQ(e.coefficient(y), 1.0);
+}
+
+TEST(LinearExpr, SubtractionCancelsToZeroCoefficient) {
+  Var x(0), y(1);
+  LinearExpr e = LinearExpr(x) + LinearExpr(y);
+  e -= LinearExpr(x);
+  EXPECT_EQ(e.size(), 1u);
+  EXPECT_DOUBLE_EQ(e.coefficient(x), 0.0);
+  EXPECT_DOUBLE_EQ(e.coefficient(y), 1.0);
+}
+
+TEST(LinearExpr, ScalarMultiplication) {
+  Var x(0);
+  LinearExpr e = 2.0 * (LinearExpr(x) + 3.0);
+  EXPECT_DOUBLE_EQ(e.coefficient(x), 2.0);
+  EXPECT_DOUBLE_EQ(e.constant(), 6.0);
+
+  e *= 0.0;
+  EXPECT_TRUE(e.isConstant());
+  EXPECT_DOUBLE_EQ(e.constant(), 0.0);
+}
+
+TEST(LinearExpr, UnaryMinus) {
+  Var x(0);
+  LinearExpr e = -(LinearExpr(x) - 2.0);
+  EXPECT_DOUBLE_EQ(e.coefficient(x), -1.0);
+  EXPECT_DOUBLE_EQ(e.constant(), 2.0);
+}
+
+TEST(LinearExpr, TermsStaySortedByIndex) {
+  Var a(5), b(1), c(3);
+  LinearExpr e = LinearExpr(a) + LinearExpr(b) + LinearExpr(c);
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e.terms()[0].first, 1);
+  EXPECT_EQ(e.terms()[1].first, 3);
+  EXPECT_EQ(e.terms()[2].first, 5);
+}
+
+TEST(LinearExpr, StrRendering) {
+  Var x(0), y(1);
+  LinearExpr e = 2.0 * LinearExpr(x) - LinearExpr(y) + 1.5;
+  const std::string s = e.str();
+  EXPECT_NE(s.find("2*x0"), std::string::npos);
+  EXPECT_NE(s.find("x1"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+}
+
+TEST(Var, DefaultInvalid) {
+  Var v;
+  EXPECT_FALSE(v.valid());
+  EXPECT_EQ(v.index(), -1);
+  EXPECT_TRUE(Var(0).valid());
+}
+
+}  // namespace
+}  // namespace hetpar::ilp

@@ -1,0 +1,116 @@
+#include "hetpar/ilp/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetpar/support/error.hpp"
+
+namespace hetpar::ilp {
+namespace {
+
+TEST(Model, AddVarAssignsSequentialIndices) {
+  Model m;
+  Var a = m.addBool("a");
+  Var b = m.addContinuous(0, 5, "b");
+  Var c = m.addVar(VarType::Integer, -2, 7, "c");
+  EXPECT_EQ(a.index(), 0);
+  EXPECT_EQ(b.index(), 1);
+  EXPECT_EQ(c.index(), 2);
+  EXPECT_EQ(m.numVars(), 3u);
+  EXPECT_EQ(m.numIntegerVars(), 2u);
+  EXPECT_EQ(m.varInfo(b).upperBound, 5.0);
+  EXPECT_EQ(m.varInfo(c).type, VarType::Integer);
+}
+
+TEST(Model, RejectsEmptyDomain) {
+  Model m;
+  EXPECT_THROW(m.addVar(VarType::Continuous, 3, 2, "bad"), SolverError);
+}
+
+TEST(Model, RejectsBadBinaryBounds) {
+  Model m;
+  EXPECT_THROW(m.addVar(VarType::Binary, 0, 2, "bad"), SolverError);
+}
+
+TEST(Model, ConstraintNormalizationFoldsConstants) {
+  Model m;
+  Var x = m.addContinuous(0, 10, "x");
+  // x + 3 <= 2*x + 5  ==>  -x <= 2
+  m.addLe(LinearExpr(x) + 3.0, 2.0 * LinearExpr(x) + 5.0, "c0");
+  ASSERT_EQ(m.numConstraints(), 1u);
+  const Constraint& c = m.constraints()[0];
+  EXPECT_DOUBLE_EQ(c.lhs.coefficient(x), -1.0);
+  EXPECT_DOUBLE_EQ(c.rhs, 2.0);
+  EXPECT_EQ(c.relation, Relation::LessEqual);
+}
+
+TEST(Model, IsFeasibleChecksBoundsIntegralityConstraints) {
+  Model m;
+  Var x = m.addVar(VarType::Integer, 0, 10, "x");
+  Var y = m.addContinuous(0, 10, "y");
+  m.addLe(LinearExpr(x) + LinearExpr(y), 8.0);
+  EXPECT_TRUE(m.isFeasible({3.0, 4.0}));
+  EXPECT_FALSE(m.isFeasible({3.5, 4.0}));   // integrality
+  EXPECT_FALSE(m.isFeasible({3.0, 6.0}));   // constraint
+  EXPECT_FALSE(m.isFeasible({-1.0, 4.0}));  // lower bound
+  EXPECT_FALSE(m.isFeasible({3.0}));        // wrong arity
+}
+
+TEST(Model, EvalObjective) {
+  Model m;
+  Var x = m.addContinuous(0, 10, "x");
+  Var y = m.addContinuous(0, 10, "y");
+  m.setObjective(2.0 * LinearExpr(x) - LinearExpr(y) + 7.0, Sense::Minimize);
+  EXPECT_DOUBLE_EQ(m.evalObjective({3.0, 4.0}), 2 * 3 - 4 + 7);
+}
+
+TEST(Model, AddAndEncodesConjunction) {
+  // Exhaustively check the Eq 7 linearization: for every corner of (x, y),
+  // the only feasible integral z equals x AND y.
+  for (int xv = 0; xv <= 1; ++xv) {
+    for (int yv = 0; yv <= 1; ++yv) {
+      Model m;
+      Var x = m.addBool("x");
+      Var y = m.addBool("y");
+      Var z = m.addAnd(x, y, "z");
+      (void)z;
+      for (int zv = 0; zv <= 1; ++zv) {
+        const bool feasible = m.isFeasible({double(xv), double(yv), double(zv)});
+        EXPECT_EQ(feasible, zv == (xv & yv))
+            << "x=" << xv << " y=" << yv << " z=" << zv;
+      }
+    }
+  }
+}
+
+TEST(Model, AndAddsThreeConstraints) {
+  Model m;
+  Var x = m.addBool("x");
+  Var y = m.addBool("y");
+  m.addAnd(x, y, "z");
+  EXPECT_EQ(m.numVars(), 3u);
+  EXPECT_EQ(m.numConstraints(), 3u);
+}
+
+TEST(Model, StrDumpMentionsEverything) {
+  Model m("demo");
+  Var x = m.addBool("flag");
+  m.addLe(LinearExpr(x), 1.0, "cap");
+  m.setObjective(LinearExpr(x), Sense::Maximize);
+  const std::string s = m.str();
+  EXPECT_NE(s.find("maximize"), std::string::npos);
+  EXPECT_NE(s.find("cap"), std::string::npos);
+  EXPECT_NE(s.find("binary"), std::string::npos);
+}
+
+TEST(Solution, IntegralRounds) {
+  Solution s;
+  s.status = SolveStatus::Optimal;
+  s.values = {0.9999999, 2.0000001, 0.0};
+  EXPECT_EQ(s.integral(Var(0)), 1);
+  EXPECT_EQ(s.integral(Var(1)), 2);
+  EXPECT_TRUE(s.boolean(Var(0)));
+  EXPECT_FALSE(s.boolean(Var(2)));
+}
+
+}  // namespace
+}  // namespace hetpar::ilp

@@ -1,0 +1,193 @@
+#include "hetpar/ilp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hetpar::ilp {
+namespace {
+
+// Convenience: solve a Model's LP relaxation via buildLp + BoundedSimplex.
+LpResult relax(const Model& m) {
+  std::vector<double> lb, ub;
+  for (const auto& v : m.vars()) {
+    lb.push_back(v.lowerBound);
+    ub.push_back(v.upperBound);
+  }
+  StandardForm sf = buildLp(m, lb, ub);
+  BoundedSimplex simplex;
+  return simplex.solve(sf.problem);
+}
+
+TEST(Simplex, TextbookTwoVarMaximize) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0 -> 36 at (2,6)
+  Model m;
+  Var x = m.addContinuous(0, kInfinity, "x");
+  Var y = m.addContinuous(0, kInfinity, "y");
+  m.addLe(LinearExpr(x), 4.0);
+  m.addLe(2.0 * LinearExpr(y), 12.0);
+  m.addLe(3.0 * LinearExpr(x) + 2.0 * LinearExpr(y), 18.0);
+  m.setObjective(3.0 * LinearExpr(x) + 5.0 * LinearExpr(y), Sense::Maximize);
+  LpResult r = relax(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, -36.0, 1e-6);  // internal objective is minimized
+  EXPECT_NEAR(r.x[0], 2.0, 1e-6);
+  EXPECT_NEAR(r.x[1], 6.0, 1e-6);
+}
+
+TEST(Simplex, MinimizeWithGreaterEqual) {
+  // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 0 -> x=10-y... optimum x=10,y=0? cost 20
+  Model m;
+  Var x = m.addContinuous(2, kInfinity, "x");
+  Var y = m.addContinuous(0, kInfinity, "y");
+  m.addGe(LinearExpr(x) + LinearExpr(y), 10.0);
+  m.setObjective(2.0 * LinearExpr(x) + 3.0 * LinearExpr(y), Sense::Minimize);
+  LpResult r = relax(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, 20.0, 1e-6);
+  EXPECT_NEAR(r.x[0], 10.0, 1e-6);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-6);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + y s.t. x + 2y = 6, 0<=x,y<=10 -> y=3, x=0 -> 3
+  Model m;
+  Var x = m.addContinuous(0, 10, "x");
+  Var y = m.addContinuous(0, 10, "y");
+  m.addEq(LinearExpr(x) + 2.0 * LinearExpr(y), 6.0);
+  m.setObjective(LinearExpr(x) + LinearExpr(y), Sense::Minimize);
+  LpResult r = relax(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, 3.0, 1e-6);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  Var x = m.addContinuous(0, 1, "x");
+  m.addGe(LinearExpr(x), 2.0);
+  m.setObjective(LinearExpr(x), Sense::Minimize);
+  EXPECT_EQ(relax(m).status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleSystem) {
+  Model m;
+  Var x = m.addContinuous(0, kInfinity, "x");
+  Var y = m.addContinuous(0, kInfinity, "y");
+  m.addEq(LinearExpr(x) + LinearExpr(y), 1.0);
+  m.addEq(LinearExpr(x) + LinearExpr(y), 2.0);
+  m.setObjective(LinearExpr(x), Sense::Minimize);
+  EXPECT_EQ(relax(m).status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  Var x = m.addContinuous(0, kInfinity, "x");
+  Var y = m.addContinuous(0, kInfinity, "y");
+  m.addGe(LinearExpr(x) - LinearExpr(y), 1.0);
+  m.setObjective(-LinearExpr(x), Sense::Minimize);
+  EXPECT_EQ(relax(m).status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, BoundedVariablesHandledImplicitly) {
+  // max x + y with 1 <= x <= 3, 2 <= y <= 5 and x + y <= 7 -> (3, 4) or (2, 5): 7
+  Model m;
+  Var x = m.addContinuous(1, 3, "x");
+  Var y = m.addContinuous(2, 5, "y");
+  m.addLe(LinearExpr(x) + LinearExpr(y), 7.0);
+  m.setObjective(LinearExpr(x) + LinearExpr(y), Sense::Maximize);
+  LpResult r = relax(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(-r.objective, 7.0, 1e-6);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x + y with -5 <= x <= 5, -5 <= y <= 5, x + y >= -3 -> -3
+  Model m;
+  Var x = m.addContinuous(-5, 5, "x");
+  Var y = m.addContinuous(-5, 5, "y");
+  m.addGe(LinearExpr(x) + LinearExpr(y), -3.0);
+  m.setObjective(LinearExpr(x) + LinearExpr(y), Sense::Minimize);
+  LpResult r = relax(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, -3.0, 1e-6);
+}
+
+TEST(Simplex, FreeVariable) {
+  // min y s.t. y >= x - 2, y >= -x, x free -> x=1, y=-1
+  Model m;
+  Var x = m.addContinuous(-kInfinity, kInfinity, "x");
+  Var y = m.addContinuous(-kInfinity, kInfinity, "y");
+  m.addGe(LinearExpr(y) - LinearExpr(x), -2.0);
+  m.addGe(LinearExpr(y) + LinearExpr(x), 0.0);
+  m.setObjective(LinearExpr(y), Sense::Minimize);
+  LpResult r = relax(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, -1.0, 1e-6);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic degenerate LP; must not cycle.
+  Model m;
+  Var x1 = m.addContinuous(0, kInfinity, "x1");
+  Var x2 = m.addContinuous(0, kInfinity, "x2");
+  Var x3 = m.addContinuous(0, kInfinity, "x3");
+  m.addLe(0.5 * LinearExpr(x1) - 5.5 * LinearExpr(x2) - 2.5 * LinearExpr(x3), 0.0);
+  m.addLe(0.5 * LinearExpr(x1) - 1.5 * LinearExpr(x2) - 0.5 * LinearExpr(x3), 0.0);
+  m.addLe(LinearExpr(x1), 1.0);
+  m.setObjective(-10.0 * LinearExpr(x1) + 57.0 * LinearExpr(x2) + 9.0 * LinearExpr(x3),
+                 Sense::Minimize);
+  LpResult r = relax(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  // Optimum: x1=1, x3=1, x2=0 -> -10 + 9 = -1.
+  EXPECT_NEAR(r.objective, -1.0, 1e-6);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-6);
+}
+
+TEST(Simplex, NoRowsPureBounds) {
+  Model m;
+  Var x = m.addContinuous(1, 4, "x");
+  Var y = m.addContinuous(-2, 3, "y");
+  m.setObjective(LinearExpr(x) - 2.0 * LinearExpr(y), Sense::Minimize);
+  LpResult r = relax(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, 1.0 - 6.0, 1e-9);
+}
+
+TEST(Simplex, FixedVariables) {
+  Model m;
+  Var x = m.addContinuous(3, 3, "x");
+  Var y = m.addContinuous(0, 10, "y");
+  m.addEq(LinearExpr(x) + LinearExpr(y), 8.0);
+  m.setObjective(LinearExpr(y), Sense::Minimize);
+  LpResult r = relax(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.x[1], 5.0, 1e-6);
+}
+
+TEST(Simplex, RedundantConstraintsAreHarmless) {
+  Model m;
+  Var x = m.addContinuous(0, 10, "x");
+  for (int i = 0; i < 6; ++i) m.addLe(LinearExpr(x), 5.0);
+  m.setObjective(-LinearExpr(x), Sense::Minimize);
+  LpResult r = relax(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.x[0], 5.0, 1e-6);
+}
+
+TEST(Simplex, ModeratelySizedDiagonalSystem) {
+  // 60 rows: x_i + x_{i+1} <= 2 with objective max sum x_i.
+  Model m;
+  std::vector<Var> xs;
+  for (int i = 0; i < 61; ++i) xs.push_back(m.addContinuous(0, 2, "x" + std::to_string(i)));
+  LinearExpr sum;
+  for (auto v : xs) sum += LinearExpr(v);
+  for (int i = 0; i < 60; ++i) m.addLe(LinearExpr(xs[i]) + LinearExpr(xs[i + 1]), 2.0);
+  m.setObjective(sum, Sense::Maximize);
+  LpResult r = relax(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  // Optimum alternates 2,0,2,... -> 31 * 2 = 62.
+  EXPECT_NEAR(-r.objective, 62.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace hetpar::ilp

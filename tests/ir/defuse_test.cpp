@@ -1,0 +1,139 @@
+#include "hetpar/ir/defuse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetpar/frontend/parser.hpp"
+
+namespace hetpar::ir {
+namespace {
+
+using frontend::analyze;
+using frontend::parseProgram;
+
+struct Ctx {
+  frontend::Program program;
+  frontend::SemaResult sema;
+  std::unique_ptr<DefUseAnalysis> du;
+
+  explicit Ctx(const char* src) : program(parseProgram(src)), sema(analyze(program)) {
+    du = std::make_unique<DefUseAnalysis>(program, sema);
+  }
+  const frontend::Stmt& mainStmt(std::size_t i) const {
+    return *program.findFunction("main")->body[i];
+  }
+};
+
+TEST(DefUse, SimpleAssignment) {
+  Ctx c("int main() { int a = 1; int b = a + 2; return b; }");
+  const DefUse& d0 = c.du->of(c.mainStmt(0));
+  EXPECT_TRUE(d0.defs.count("a"));
+  EXPECT_TRUE(d0.uses.empty());
+  const DefUse& d1 = c.du->of(c.mainStmt(1));
+  EXPECT_TRUE(d1.defs.count("b"));
+  EXPECT_TRUE(d1.uses.count("a"));
+  const DefUse& d2 = c.du->of(c.mainStmt(2));
+  EXPECT_TRUE(d2.uses.count("b"));
+  EXPECT_TRUE(d2.defs.empty());
+}
+
+TEST(DefUse, ElementWriteAlsoUsesArray) {
+  Ctx c("int a[8]; int main() { int i = 0; a[i] = 3; return 0; }");
+  const DefUse& d = c.du->of(c.mainStmt(1));
+  EXPECT_TRUE(d.defs.count("a"));
+  EXPECT_TRUE(d.uses.count("a")) << "partial writes keep the rest of the array live";
+  EXPECT_TRUE(d.uses.count("i"));
+}
+
+TEST(DefUse, UninitializedDeclProducesNoDef) {
+  Ctx c("int main() { int a[8]; a[0] = 1; return a[0]; }");
+  const DefUse& d = c.du->of(c.mainStmt(0));
+  EXPECT_TRUE(d.defs.empty()) << "uninitialized declarations must not look like producers";
+}
+
+TEST(DefUse, LoopAggregatesBodyAndHeader) {
+  Ctx c(R"(int b[4]; int main() {
+    int s = 0;
+    for (int i = 0; i < 4; i = i + 1) { s = s + b[i]; }
+    return s;
+  })");
+  const DefUse& d = c.du->of(c.mainStmt(1));
+  EXPECT_TRUE(d.defs.count("s"));
+  EXPECT_TRUE(d.defs.count("i"));
+  EXPECT_TRUE(d.uses.count("b"));
+  EXPECT_TRUE(d.uses.count("s"));
+}
+
+TEST(DefUse, IfAggregatesBothBranches) {
+  Ctx c(R"(int main() {
+    int x = 1; int a = 0; int b = 0;
+    if (x > 0) { a = 1; } else { b = 2; }
+    return a + b;
+  })");
+  const DefUse& d = c.du->of(c.mainStmt(3));
+  EXPECT_TRUE(d.defs.count("a"));
+  EXPECT_TRUE(d.defs.count("b"));
+  EXPECT_TRUE(d.uses.count("x"));
+}
+
+TEST(DefUse, CallEffectsArrayParams) {
+  Ctx c(R"(
+    void produce(int v[4]) { v[0] = 1; }
+    int consume(int v[4]) { return v[0]; }
+    int main() {
+      int data[4];
+      produce(data);
+      int r = consume(data);
+      return r;
+    }
+  )");
+  const DefUse& dp = c.du->of(c.mainStmt(1));
+  EXPECT_TRUE(dp.defs.count("data"));
+  const DefUse& dc = c.du->of(c.mainStmt(2));
+  EXPECT_TRUE(dc.uses.count("data"));
+  EXPECT_FALSE(dc.defs.count("data"));
+}
+
+TEST(DefUse, CallEffectsGlobals) {
+  Ctx c(R"(
+    int g = 0;
+    void setit() { g = 5; }
+    int getit() { return g; }
+    int main() { setit(); int x = getit(); return x; }
+  )");
+  EXPECT_TRUE(c.du->of(c.mainStmt(0)).defs.count("g"));
+  EXPECT_TRUE(c.du->of(c.mainStmt(1)).uses.count("g"));
+}
+
+TEST(DefUse, TransitiveCallEffects) {
+  Ctx c(R"(
+    int g = 0;
+    void inner() { g = 1; }
+    void outer() { inner(); }
+    int main() { outer(); return g; }
+  )");
+  EXPECT_TRUE(c.du->of(c.mainStmt(0)).defs.count("g"));
+}
+
+TEST(DefUse, ScalarParamWriteStaysLocal) {
+  Ctx c(R"(
+    int f(int x) { x = x + 1; return x; }
+    int main() { int a = 1; int b = f(a); return b; }
+  )");
+  const DefUse& d = c.du->of(c.mainStmt(1));
+  EXPECT_TRUE(d.uses.count("a"));
+  EXPECT_FALSE(d.defs.count("a"));
+  const FunctionEffects& fx = c.du->effects(*c.program.findFunction("f"));
+  EXPECT_TRUE(fx.paramRead[0]);
+  EXPECT_FALSE(fx.paramWritten[0]);
+}
+
+TEST(DefUse, ByteSizes) {
+  Ctx c("double m[4][4]; float v[8]; int s; int main() { s = 1; return s; }");
+  EXPECT_EQ(c.du->byteSizeOf(nullptr, "m"), 128);
+  EXPECT_EQ(c.du->byteSizeOf(nullptr, "v"), 32);
+  EXPECT_EQ(c.du->byteSizeOf(nullptr, "s"), 4);
+  EXPECT_EQ(c.du->byteSizeOf(nullptr, "missing"), 0);
+}
+
+}  // namespace
+}  // namespace hetpar::ir

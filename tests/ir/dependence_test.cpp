@@ -1,0 +1,168 @@
+#include "hetpar/ir/dependence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetpar/frontend/parser.hpp"
+
+namespace hetpar::ir {
+namespace {
+
+struct Ctx {
+  frontend::Program program;
+  frontend::SemaResult sema;
+  std::unique_ptr<DefUseAnalysis> du;
+  std::vector<const frontend::Stmt*> mainStmts;
+  const frontend::Function* mainFn;
+
+  explicit Ctx(const char* src)
+      : program(frontend::parseProgram(src)), sema(frontend::analyze(program)) {
+    du = std::make_unique<DefUseAnalysis>(program, sema);
+    mainFn = program.findFunction("main");
+    for (const auto& s : mainFn->body) mainStmts.push_back(s.get());
+  }
+  std::vector<DepEdge> deps() const { return computeSiblingDeps(mainStmts, *du, mainFn); }
+};
+
+const DepEdge* findEdge(const std::vector<DepEdge>& edges, int from, int to, DepKind kind) {
+  for (const auto& e : edges)
+    if (e.from == from && e.to == to && e.kind == kind) return &e;
+  return nullptr;
+}
+
+TEST(Dependence, FlowFromLastWriter) {
+  Ctx c(R"(int main() {
+    int a = 1;
+    a = 2;
+    int b = a;
+    return b;
+  })");
+  auto deps = c.deps();
+  EXPECT_NE(findEdge(deps, 1, 2, DepKind::Flow), nullptr) << "reads come from the LAST writer";
+  EXPECT_EQ(findEdge(deps, 0, 2, DepKind::Flow), nullptr);
+  EXPECT_NE(findEdge(deps, 0, 1, DepKind::Output), nullptr);
+}
+
+TEST(Dependence, IndependentStatementsHaveNoEdges) {
+  Ctx c(R"(int main() {
+    int a = 1;
+    int b = 2;
+    int c = 3;
+    return a + b + c;
+  })");
+  auto deps = c.deps();
+  EXPECT_EQ(findEdge(deps, 0, 1, DepKind::Flow), nullptr);
+  EXPECT_EQ(findEdge(deps, 1, 2, DepKind::Flow), nullptr);
+  // The return depends on all three.
+  EXPECT_NE(findEdge(deps, 0, 3, DepKind::Flow), nullptr);
+  EXPECT_NE(findEdge(deps, 1, 3, DepKind::Flow), nullptr);
+  EXPECT_NE(findEdge(deps, 2, 3, DepKind::Flow), nullptr);
+}
+
+TEST(Dependence, AntiDependence) {
+  Ctx c(R"(int main() {
+    int a = 1;
+    int b = a;
+    a = 5;
+    return a + b;
+  })");
+  auto deps = c.deps();
+  EXPECT_NE(findEdge(deps, 1, 2, DepKind::Anti), nullptr);
+  const DepEdge* anti = findEdge(deps, 1, 2, DepKind::Anti);
+  ASSERT_NE(anti, nullptr);
+  EXPECT_EQ(anti->bytes, 0) << "anti edges are ordering-only";
+}
+
+TEST(Dependence, FlowEdgeBytesMatchTypes) {
+  Ctx c(R"(
+    double big[100];
+    void fill(double v[100]) { v[0] = 1.0; }
+    double head(double v[100]) { return v[0]; }
+    int main() {
+      fill(big);
+      double x = head(big);
+      return x;
+    }
+  )");
+  auto deps = c.deps();
+  const DepEdge* e = findEdge(deps, 0, 1, DepKind::Flow);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->bytes, 800);
+  ASSERT_EQ(e->vars.size(), 1u);
+  EXPECT_EQ(e->vars[0], "big");
+}
+
+TEST(Dependence, MultipleVarsMergeOntoOneEdge) {
+  Ctx c(R"(int main() {
+    int a = 1;
+    int b = 2;
+    int c = a + b;
+    return c;
+  })");
+  // A different shape: statement 2 reads both a and b — but from different
+  // producers, so two distinct edges. Merge happens when one producer
+  // defines several consumed variables.
+  Ctx m(R"(
+    int x; int y;
+    void both() { x = 1; y = 2; }
+    int main() {
+      both();
+      int s = x + y;
+      return s;
+    }
+  )");
+  auto deps = m.deps();
+  const DepEdge* e = findEdge(deps, 0, 1, DepKind::Flow);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->vars.size(), 2u);
+  EXPECT_EQ(e->bytes, 8);
+  (void)c;
+}
+
+TEST(Dependence, RegionFlowInbound) {
+  Ctx c(R"(
+    int g = 7;
+    int main() {
+      int a = g + 1;
+      int b = a * 2;
+      return b;
+    }
+  )");
+  RegionFlow flow = computeRegionFlow(c.mainStmts, *c.du, c.mainFn);
+  EXPECT_TRUE(flow.inbound[0].count("g")) << "g arrives from outside the region";
+  EXPECT_FALSE(flow.inbound[1].count("a")) << "a is produced inside";
+}
+
+TEST(Dependence, RegionFlowOutboundLastWriterOnly) {
+  Ctx c(R"(int main() {
+    int a = 1;
+    a = 2;
+    return a;
+  })");
+  RegionFlow flow = computeRegionFlow(c.mainStmts, *c.du, c.mainFn);
+  EXPECT_FALSE(flow.outbound[0].count("a")) << "overwritten value does not escape";
+  EXPECT_TRUE(flow.outbound[1].count("a"));
+}
+
+TEST(Dependence, NoSelfEdges) {
+  Ctx c(R"(int main() {
+    int s = 0;
+    s = s + 1;
+    return s;
+  })");
+  for (const auto& e : c.deps()) EXPECT_NE(e.from, e.to);
+}
+
+TEST(Dependence, EdgesAlwaysPointForward) {
+  Ctx c(R"(int b[16]; int main() {
+    int s = 0;
+    for (int i = 0; i < 16; i = i + 1) { b[i] = i; }
+    for (int i = 0; i < 16; i = i + 1) { s = s + b[i]; }
+    return s;
+  })");
+  for (const auto& e : c.deps()) EXPECT_LT(e.from, e.to);
+  // Second loop consumes the first loop's array.
+  EXPECT_NE(findEdge(c.deps(), 1, 2, DepKind::Flow), nullptr);
+}
+
+}  // namespace
+}  // namespace hetpar::ir

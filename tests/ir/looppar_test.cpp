@@ -1,0 +1,244 @@
+#include "hetpar/ir/looppar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetpar/frontend/parser.hpp"
+
+namespace hetpar::ir {
+namespace {
+
+struct Ctx {
+  frontend::Program program;
+  frontend::SemaResult sema;
+  std::unique_ptr<DefUseAnalysis> du;
+
+  explicit Ctx(const std::string& src)
+      : program(frontend::parseProgram(src)), sema(frontend::analyze(program)) {
+    du = std::make_unique<DefUseAnalysis>(program, sema);
+  }
+
+  LoopParallelism firstLoop() const {
+    const frontend::Function* fn = program.findFunction("main");
+    for (const auto& s : fn->body) {
+      if (s->kind == frontend::StmtKind::For)
+        return analyzeLoop(static_cast<const frontend::ForStmt&>(*s), *du, fn);
+    }
+    throw std::runtime_error("no loop in main");
+  }
+};
+
+TEST(LoopPar, ElementwiseMapIsDoall) {
+  Ctx c(R"(
+    int a[64]; int b[64];
+    int main() {
+      for (int i = 0; i < 64; i = i + 1) { a[i] = b[i] * 2; }
+      return a[0];
+    }
+  )");
+  auto lp = c.firstLoop();
+  EXPECT_TRUE(lp.isDoall) << lp.reason;
+}
+
+TEST(LoopPar, StencilReadIsNotDoall) {
+  Ctx c(R"(
+    int a[64];
+    int main() {
+      for (int i = 1; i < 64; i = i + 1) { a[i] = a[i - 1] + 1; }
+      return a[0];
+    }
+  )");
+  auto lp = c.firstLoop();
+  EXPECT_FALSE(lp.isDoall);
+  EXPECT_NE(lp.reason.find("a"), std::string::npos);
+}
+
+TEST(LoopPar, ReadOnlyStencilOfOtherArrayIsDoall) {
+  Ctx c(R"(
+    int src[64]; int dst[64];
+    int main() {
+      for (int i = 1; i < 63; i = i + 1) { dst[i] = src[i - 1] + src[i + 1]; }
+      return dst[1];
+    }
+  )");
+  auto lp = c.firstLoop();
+  EXPECT_TRUE(lp.isDoall) << lp.reason << " (src is read-only, dst is written at [i])";
+}
+
+TEST(LoopPar, SumReductionRecognized) {
+  Ctx c(R"(
+    int a[64];
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 64; i = i + 1) { s = s + a[i]; }
+      return s;
+    }
+  )");
+  auto lp = c.firstLoop();
+  EXPECT_TRUE(lp.isDoall) << lp.reason;
+  EXPECT_TRUE(lp.reductions.count("s"));
+}
+
+TEST(LoopPar, ProductReductionRecognized) {
+  Ctx c(R"(
+    int main() {
+      int p = 1;
+      for (int i = 1; i < 10; i = i + 1) { p = p * i; }
+      return p;
+    }
+  )");
+  auto lp = c.firstLoop();
+  EXPECT_TRUE(lp.isDoall) << lp.reason;
+  EXPECT_TRUE(lp.reductions.count("p"));
+}
+
+TEST(LoopPar, ReductionVarUsedElsewhereRejected) {
+  Ctx c(R"(
+    int a[64];
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 64; i = i + 1) { s = s + 1; a[i] = s; }
+      return s;
+    }
+  )");
+  auto lp = c.firstLoop();
+  EXPECT_FALSE(lp.isDoall) << "s feeds a[i], order matters";
+}
+
+TEST(LoopPar, PrivatizableTemporary) {
+  Ctx c(R"(
+    int a[64]; int b[64];
+    int main() {
+      for (int i = 0; i < 64; i = i + 1) {
+        int t = b[i] * 3;
+        a[i] = t + 1;
+      }
+      return a[0];
+    }
+  )");
+  auto lp = c.firstLoop();
+  EXPECT_TRUE(lp.isDoall) << lp.reason;
+  EXPECT_TRUE(lp.privatizable.count("t"));
+}
+
+TEST(LoopPar, CarriedScalarRejected) {
+  Ctx c(R"(
+    int a[64];
+    int main() {
+      int prev = 0;
+      for (int i = 0; i < 64; i = i + 1) {
+        a[i] = prev;
+        prev = a[i] + i;
+      }
+      return a[63];
+    }
+  )");
+  auto lp = c.firstLoop();
+  EXPECT_FALSE(lp.isDoall);
+}
+
+TEST(LoopPar, TwoDimensionalRowDistribution) {
+  Ctx c(R"(
+    int m[16][16];
+    int main() {
+      for (int i = 0; i < 16; i = i + 1) {
+        for (int j = 0; j < 16; j = j + 1) { m[i][j] = i + j; }
+      }
+      return m[3][4];
+    }
+  )");
+  auto lp = c.firstLoop();
+  EXPECT_TRUE(lp.isDoall) << lp.reason << " (outer loop distributes rows)";
+}
+
+TEST(LoopPar, TransposedAccessRejected) {
+  Ctx c(R"(
+    int m[16][16];
+    int main() {
+      for (int i = 0; i < 16; i = i + 1) {
+        for (int j = 0; j < 16; j = j + 1) { m[i][j] = m[j][i] + 1; }
+      }
+      return m[3][4];
+    }
+  )");
+  auto lp = c.firstLoop();
+  EXPECT_FALSE(lp.isDoall) << "i appears in different dimensions across accesses";
+}
+
+TEST(LoopPar, OffsetWriteRejected) {
+  Ctx c(R"(
+    int a[64];
+    int main() {
+      for (int i = 0; i < 63; i = i + 1) { a[i + 1] = i; }
+      return a[1];
+    }
+  )");
+  auto lp = c.firstLoop();
+  EXPECT_FALSE(lp.isDoall) << "a[i+1] is not the exact induction subscript";
+}
+
+TEST(LoopPar, NonUnitStepRejected) {
+  Ctx c(R"(
+    int a[64];
+    int main() {
+      for (int i = 0; i < 64; i = i + 2) { a[i] = i; }
+      return a[0];
+    }
+  )");
+  auto lp = c.firstLoop();
+  EXPECT_FALSE(lp.isDoall);
+  EXPECT_NE(lp.reason.find("step"), std::string::npos);
+}
+
+TEST(LoopPar, CallWithWritesRejected) {
+  Ctx c(R"(
+    int g = 0;
+    void bump() { g = g + 1; }
+    int main() {
+      for (int i = 0; i < 8; i = i + 1) { bump(); }
+      return g;
+    }
+  )");
+  auto lp = c.firstLoop();
+  EXPECT_FALSE(lp.isDoall);
+}
+
+TEST(LoopPar, PureCallAllowed) {
+  Ctx c(R"(
+    int a[32];
+    int f(int x) { return x * x + 1; }
+    int main() {
+      for (int i = 0; i < 32; i = i + 1) { a[i] = f(i); }
+      return a[5];
+    }
+  )");
+  auto lp = c.firstLoop();
+  EXPECT_TRUE(lp.isDoall) << lp.reason;
+}
+
+TEST(LoopPar, WholeArrayUseRejected) {
+  Ctx c(R"(
+    int a[8];
+    int sum(int v[8]) { int s = 0; for (int k = 0; k < 8; k = k + 1) { s = s + v[k]; } return s; }
+    int main() {
+      for (int i = 0; i < 8; i = i + 1) { a[i] = sum(a); }
+      return a[0];
+    }
+  )");
+  auto lp = c.firstLoop();
+  EXPECT_FALSE(lp.isDoall);
+}
+
+TEST(LoopPar, InductionVariableWriteInBodyRejected) {
+  Ctx c(R"(
+    int a[32];
+    int main() {
+      for (int i = 0; i < 32; i = i + 1) { a[i] = 1; i = i + 1; }
+      return a[0];
+    }
+  )");
+  auto lp = c.firstLoop();
+  EXPECT_FALSE(lp.isDoall);
+}
+
+}  // namespace
+}  // namespace hetpar::ir

@@ -1,0 +1,82 @@
+#include "hetpar/ir/tripcount.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetpar/frontend/parser.hpp"
+
+namespace hetpar::ir {
+namespace {
+
+const frontend::ForStmt& firstLoop(const frontend::Program& p) {
+  for (const auto& s : p.findFunction("main")->body)
+    if (s->kind == frontend::StmtKind::For)
+      return static_cast<const frontend::ForStmt&>(*s);
+  throw std::runtime_error("no loop");
+}
+
+std::optional<long long> tripOf(const char* header) {
+  static std::vector<std::unique_ptr<frontend::Program>> keepAlive;
+  std::string src = std::string("int main() { int s = 0; ") + header +
+                    " { s = s + 1; } return s; }";
+  keepAlive.push_back(std::make_unique<frontend::Program>(frontend::parseProgram(src)));
+  return staticTripCount(firstLoop(*keepAlive.back()));
+}
+
+TEST(TripCount, CanonicalAscending) {
+  EXPECT_EQ(tripOf("for (int i = 0; i < 10; i = i + 1)"), 10);
+  EXPECT_EQ(tripOf("for (int i = 0; i <= 10; i = i + 1)"), 11);
+  EXPECT_EQ(tripOf("for (int i = 2; i < 10; i = i + 1)"), 8);
+}
+
+TEST(TripCount, NonUnitStep) {
+  EXPECT_EQ(tripOf("for (int i = 0; i < 10; i = i + 3)"), 4);
+  EXPECT_EQ(tripOf("for (int i = 0; i < 9; i = i + 3)"), 3);
+}
+
+TEST(TripCount, Descending) {
+  EXPECT_EQ(tripOf("for (int i = 10; i > 0; i = i - 1)"), 10);
+  EXPECT_EQ(tripOf("for (int i = 10; i >= 0; i = i - 2)"), 6);
+}
+
+TEST(TripCount, ZeroTrip) {
+  EXPECT_EQ(tripOf("for (int i = 5; i < 5; i = i + 1)"), 0);
+  EXPECT_EQ(tripOf("for (int i = 9; i < 5; i = i + 1)"), 0);
+}
+
+TEST(TripCount, AssignInitForm) {
+  // Canonical assign-init inside the for header:
+  static frontend::Program p = frontend::parseProgram(
+      "int main() { int i; int s = 0; for (i = 0; i < 7; i = i + 1) { s = s + 1; } return s; }");
+  EXPECT_EQ(staticTripCount(firstLoop(p)), 7);
+}
+
+TEST(TripCount, NonConstantBoundsRejected) {
+  static frontend::Program p = frontend::parseProgram(
+      "int main() { int n = 10; int s = 0; for (int i = 0; i < n; i = i + 1) { s = s + 1; } return s; }");
+  EXPECT_EQ(staticTripCount(firstLoop(p)), std::nullopt);
+}
+
+TEST(TripCount, WrongDirectionRejected) {
+  EXPECT_EQ(tripOf("for (int i = 0; i < 10; i = i - 1)"), std::nullopt);
+  EXPECT_EQ(tripOf("for (int i = 10; i > 0; i = i + 1)"), std::nullopt);
+}
+
+TEST(EvalConstInt, Arithmetic) {
+  auto eval = [](const char* expr) {
+    std::string src = std::string("int main() { int x = ") + expr + "; return x; }";
+    static std::vector<std::unique_ptr<frontend::Program>> keepAlive;
+    keepAlive.push_back(std::make_unique<frontend::Program>(frontend::parseProgram(src)));
+    const auto& d = static_cast<const frontend::DeclStmt&>(
+        *keepAlive.back()->findFunction("main")->body[0]);
+    return evalConstInt(*d.init);
+  };
+  EXPECT_EQ(eval("2 + 3 * 4"), 14);
+  EXPECT_EQ(eval("-(5 - 2)"), -3);
+  EXPECT_EQ(eval("20 / 3"), 6);
+  EXPECT_EQ(eval("20 % 3"), 2);
+  EXPECT_EQ(eval("1 / 0"), std::nullopt);
+  EXPECT_EQ(eval("2 * (1 + 1)"), 4);
+}
+
+}  // namespace
+}  // namespace hetpar::ir

@@ -1,0 +1,141 @@
+// Unit tests of the iteration-count DOALL ILP (solveChunkIlp).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "hetpar/parallel/ilppar_model.hpp"
+
+namespace hetpar::parallel {
+namespace {
+
+ChunkRegion platformARegion(long long iterations) {
+  ChunkRegion r;
+  r.name = "test";
+  r.iterations = iterations;
+  // 100/250/500 MHz -> per-iteration times 50/20/10 us at 5000 ops/iter.
+  r.secondsPerIter = {50e-6, 20e-6, 10e-6};
+  r.seqPC = 0;
+  r.maxProcs = 4;
+  r.maxTasks = 4;
+  r.taskCreationSeconds = 25e-6;
+  r.numProcsPerClass = {1, 1, 2};
+  return r;
+}
+
+TEST(ChunkIlp, CoversAllIterations) {
+  const ChunkRegion r = platformARegion(1000);
+  ilp::BranchAndBoundSolver solver;
+  const ChunkResult res = solveChunkIlp(r, solver);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_TRUE(res.provenOptimal);
+  const double total = std::accumulate(res.taskIterations.begin(), res.taskIterations.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 1000.0);
+}
+
+TEST(ChunkIlp, BalancesProportionallyToFrequency) {
+  const ChunkRegion r = platformARegion(1350);
+  ilp::BranchAndBoundSolver solver;
+  const ChunkResult res = solveChunkIlp(r, solver);
+  ASSERT_TRUE(res.feasible);
+  // Ideal split over 100+250+500+500 "MHz" = 1350 total: 100, 250, 500, 500
+  // iterations (modulo TCO rounding). Check per-class totals.
+  std::map<ClassId, double> perClass;
+  for (std::size_t t = 0; t < res.taskClass.size(); ++t)
+    perClass[res.taskClass[t]] += res.taskIterations[t];
+  EXPECT_NEAR(perClass[0], 100.0, 15.0);
+  EXPECT_NEAR(perClass[1], 250.0, 20.0);
+  EXPECT_NEAR(perClass[2], 1000.0, 30.0);
+  // Makespan close to the balanced optimum: 100 iters * 50us = 5ms.
+  EXPECT_NEAR(res.timeSeconds, 5e-3, 0.5e-3);
+}
+
+TEST(ChunkIlp, MainTaskOnSeqPC) {
+  const ChunkRegion r = platformARegion(500);
+  ilp::BranchAndBoundSolver solver;
+  const ChunkResult res = solveChunkIlp(r, solver);
+  ASSERT_TRUE(res.feasible);
+  ASSERT_FALSE(res.taskClass.empty());
+  EXPECT_EQ(res.taskClass[0], 0);
+}
+
+TEST(ChunkIlp, RespectsClassBudgets) {
+  ChunkRegion r = platformARegion(2000);
+  r.numProcsPerClass = {1, 1, 1};  // only one fast core now
+  ilp::BranchAndBoundSolver solver;
+  const ChunkResult res = solveChunkIlp(r, solver);
+  ASSERT_TRUE(res.feasible);
+  int fastTasks = 0;
+  for (std::size_t t = 0; t < res.taskClass.size(); ++t)
+    if (res.taskClass[t] == 2) ++fastTasks;
+  EXPECT_LE(fastTasks, 1);
+}
+
+TEST(ChunkIlp, MaxProcsCapsTaskCount) {
+  ChunkRegion r = platformARegion(2000);
+  r.maxProcs = 2;
+  ilp::BranchAndBoundSolver solver;
+  const ChunkResult res = solveChunkIlp(r, solver);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_LE(res.taskClass.size(), 2u);
+}
+
+TEST(ChunkIlp, TcoMakesTinyLoopsStaySequential) {
+  ChunkRegion r = platformARegion(4);
+  r.taskCreationSeconds = 10e-3;  // spawning costs far more than the work
+  ilp::BranchAndBoundSolver solver;
+  const ChunkResult res = solveChunkIlp(r, solver);
+  ASSERT_TRUE(res.feasible);
+  // All iterations on the main task.
+  EXPECT_NEAR(res.taskIterations[0], 4.0, 1e-9);
+}
+
+TEST(ChunkIlp, CommunicationShiftsWorkHome) {
+  ChunkRegion cheap = platformARegion(1000);
+  ChunkRegion pricey = platformARegion(1000);
+  pricey.commInLatency = 1e-3;
+  pricey.commInSecondsPerIter = 40e-6;  // shipping data ~ as expensive as work
+  ilp::BranchAndBoundSolver solver;
+  const ChunkResult a = solveChunkIlp(cheap, solver);
+  const ChunkResult b = solveChunkIlp(pricey, solver);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  EXPECT_GE(b.taskIterations[0], a.taskIterations[0])
+      << "expensive communication keeps more iterations on the main task";
+  EXPECT_GE(b.timeSeconds, a.timeSeconds);
+}
+
+TEST(ChunkIlp, UpperBoundPrunesWithoutChangingOptimum) {
+  const ChunkRegion base = platformARegion(1350);
+  ilp::BranchAndBoundSolver solver;
+  const ChunkResult free = solveChunkIlp(base, solver);
+  ASSERT_TRUE(free.feasible);
+  ChunkRegion bounded = base;
+  bounded.upperBoundSeconds = free.timeSeconds * 1.001;
+  const ChunkResult tight = solveChunkIlp(bounded, solver);
+  ASSERT_TRUE(tight.feasible);
+  EXPECT_NEAR(tight.timeSeconds, free.timeSeconds, free.timeSeconds * 0.01);
+}
+
+TEST(ChunkIlp, SingleIterationGranularity) {
+  // 5 iterations over two equal classes: the split must be exact integers.
+  ChunkRegion r;
+  r.name = "tiny";
+  r.iterations = 5;
+  r.secondsPerIter = {1e-3, 1e-3};
+  r.seqPC = 0;
+  r.maxProcs = 2;
+  r.maxTasks = 2;
+  r.taskCreationSeconds = 1e-6;
+  r.numProcsPerClass = {1, 1};
+  ilp::BranchAndBoundSolver solver;
+  const ChunkResult res = solveChunkIlp(r, solver);
+  ASSERT_TRUE(res.feasible);
+  ASSERT_EQ(res.taskIterations.size(), 2u);
+  // 3 + 2 split (either order).
+  const double a = res.taskIterations[0];
+  const double b = res.taskIterations[1];
+  EXPECT_DOUBLE_EQ(a + b, 5.0);
+  EXPECT_NEAR(std::max(a, b), 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hetpar::parallel

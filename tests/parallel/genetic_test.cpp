@@ -1,0 +1,127 @@
+// Genetic-algorithm baseline [7] vs the ILP: the GA must produce feasible
+// solutions with the same cost semantics, and the ILP must never be worse
+// (it is optimal; the GA only iterates until its stopping criterion).
+#include "hetpar/parallel/genetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hetpar::parallel {
+namespace {
+
+IlpChild seqChild(std::vector<double> timePerClass) {
+  IlpChild child;
+  for (double t : timePerClass) {
+    IlpCandidate cand;
+    cand.timeSeconds = t;
+    cand.extraProcs.assign(timePerClass.size(), 0);
+    child.byClass.push_back({cand});
+  }
+  return child;
+}
+
+IlpRegion makeRegion(int children) {
+  IlpRegion r;
+  r.name = "ga";
+  r.seqPC = 0;
+  r.maxProcs = 4;
+  r.maxTasks = 4;
+  r.taskCreationSeconds = 1e-6;
+  r.numProcsPerClass = {2, 2};
+  for (int i = 0; i < children; ++i)
+    r.children.push_back(seqChild({(1.0 + i % 3) * 1e-3, (1.0 + i % 3) * 0.4e-3}));
+  return r;
+}
+
+TEST(Genetic, ProducesFeasibleSolutions) {
+  const IlpRegion r = makeRegion(6);
+  const IlpParResult res = solveGaPar(r);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_FALSE(res.provenOptimal) << "a GA cannot certify optimality";
+  // Re-evaluating the returned assignment must reproduce the fitness.
+  std::vector<int> picks;
+  for (auto [cls, s] : res.childChoice) {
+    (void)cls;
+    picks.push_back(s);
+  }
+  const double check = evaluateAssignment(r, res.childTask, res.taskClass, picks);
+  EXPECT_NEAR(check, res.timeSeconds, 1e-12);
+}
+
+TEST(Genetic, IlpNeverWorse) {
+  for (int children : {3, 5, 8}) {
+    const IlpRegion r = makeRegion(children);
+    ilp::BranchAndBoundSolver solver;
+    const IlpParResult ilpRes = solveIlpPar(r, solver);
+    const IlpParResult gaRes = solveGaPar(r);
+    ASSERT_TRUE(ilpRes.feasible);
+    ASSERT_TRUE(gaRes.feasible);
+    EXPECT_LE(ilpRes.timeSeconds, gaRes.timeSeconds + 1e-9)
+        << children << " children: the ILP optimum cannot lose to the GA";
+  }
+}
+
+TEST(Genetic, FindsNearOptimalOnEasyInstances) {
+  // Independent equal children across two classes: a well-known optimum.
+  const IlpRegion r = makeRegion(8);
+  ilp::BranchAndBoundSolver solver;
+  const IlpParResult ilpRes = solveIlpPar(r, solver);
+  GaOptions opts;
+  opts.generations = 250;
+  const IlpParResult gaRes = solveGaPar(r, opts);
+  ASSERT_TRUE(ilpRes.feasible && gaRes.feasible);
+  EXPECT_LE(gaRes.timeSeconds, ilpRes.timeSeconds * 1.4)
+      << "the GA should land within 40% of the optimum here";
+}
+
+TEST(Genetic, DeterministicForFixedSeed) {
+  const IlpRegion r = makeRegion(6);
+  GaOptions opts;
+  opts.seed = 777;
+  const IlpParResult a = solveGaPar(r, opts);
+  const IlpParResult b = solveGaPar(r, opts);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  EXPECT_EQ(a.childTask, b.childTask);
+  EXPECT_DOUBLE_EQ(a.timeSeconds, b.timeSeconds);
+}
+
+TEST(EvaluateAssignment, MatchesHandComputedCosts) {
+  IlpRegion r = makeRegion(2);  // children cost 1ms / 2ms on class 0
+  // Both on main task: no TCO, no comm.
+  EXPECT_NEAR(evaluateAssignment(r, {0, 0}, {0}, {0, 0}), 3e-3, 1e-12);
+  // Split without dependence: makespan = max(1ms, TCO + 2ms).
+  EXPECT_NEAR(evaluateAssignment(r, {0, 1}, {0, 0}, {0, 0}), 2e-3 + 1e-6, 1e-12);
+  // Fast class on task 1: 2ms * 0.4 = 0.8ms + TCO.
+  EXPECT_NEAR(evaluateAssignment(r, {0, 1}, {0, 1}, {0, 0}), std::max(1e-3, 0.8e-3 + 1e-6),
+              1e-12);
+}
+
+TEST(EvaluateAssignment, DependenceSerializesAcrossTasks) {
+  IlpRegion r = makeRegion(2);
+  IlpEdgeSpec e;
+  e.from = 0;
+  e.to = 1;
+  e.commSeconds = 0.5e-3;
+  r.edges.push_back(e);
+  // Cut dependence: 1ms + (2ms + comm + TCO) path.
+  EXPECT_NEAR(evaluateAssignment(r, {0, 1}, {0, 0}, {0, 0}),
+              1e-3 + 2e-3 + 0.5e-3 + 1e-6, 1e-12);
+  // Same task: plain sum, no comm.
+  EXPECT_NEAR(evaluateAssignment(r, {0, 0}, {0}, {0, 0}), 3e-3, 1e-12);
+}
+
+TEST(EvaluateAssignment, RejectsInfeasibleAssignments) {
+  IlpRegion r = makeRegion(3);
+  // Backward task order violates Eq 10.
+  EXPECT_TRUE(std::isinf(evaluateAssignment(r, {1, 0, 0}, {0, 0}, {0, 0, 0})));
+  // Task 0 not on seqPC.
+  EXPECT_TRUE(std::isinf(evaluateAssignment(r, {0, 0, 0}, {1}, {0, 0, 0})));
+  // Class budget: 5 tasks needed but maxTasks... use class with 2 units.
+  r.numProcsPerClass = {1, 1};
+  EXPECT_TRUE(std::isinf(evaluateAssignment(r, {0, 1, 2}, {0, 0, 0}, {0, 0, 0})))
+      << "two extra class-0 tasks exceed the single class-0 unit";
+}
+
+}  // namespace
+}  // namespace hetpar::parallel

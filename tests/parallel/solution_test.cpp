@@ -1,0 +1,112 @@
+#include "hetpar/parallel/solution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetpar::parallel {
+namespace {
+
+SolutionCandidate make(SolutionKind kind, ClassId cls, double time, int extra = 0) {
+  SolutionCandidate c;
+  c.kind = kind;
+  c.mainClass = cls;
+  c.timeSeconds = time;
+  c.extraProcs = {extra, 0};
+  c.taskClass.assign(static_cast<std::size_t>(1 + extra), cls);
+  return c;
+}
+
+TEST(ParallelSet, SequentialLookupPerClass) {
+  ParallelSet set;
+  set.add(make(SolutionKind::Sequential, 0, 10.0));
+  set.add(make(SolutionKind::Sequential, 1, 4.0));
+  set.add(make(SolutionKind::TaskParallel, 0, 3.0, 2));
+  EXPECT_EQ(set.sequentialFor(0), 0);
+  EXPECT_EQ(set.sequentialFor(1), 1);
+  EXPECT_EQ(set.sequentialFor(2), -1);
+}
+
+TEST(ParallelSet, BestForPicksFastestOfClass) {
+  ParallelSet set;
+  set.add(make(SolutionKind::Sequential, 0, 10.0));
+  set.add(make(SolutionKind::TaskParallel, 0, 3.0, 2));
+  set.add(make(SolutionKind::TaskParallel, 0, 5.0, 1));
+  set.add(make(SolutionKind::Sequential, 1, 1.0));
+  EXPECT_EQ(set.bestFor(0), 1);
+  EXPECT_EQ(set.bestFor(1), 3);
+  EXPECT_EQ(set.bestFor(2), -1);
+}
+
+TEST(ParallelSet, ForClassFilters) {
+  ParallelSet set;
+  set.add(make(SolutionKind::Sequential, 0, 10.0));
+  set.add(make(SolutionKind::Sequential, 1, 4.0));
+  set.add(make(SolutionKind::TaskParallel, 1, 2.0, 1));
+  const auto c1 = set.forClass(1);
+  EXPECT_EQ(c1, (std::vector<int>{1, 2}));
+}
+
+TEST(ParallelSet, PruneDropsDominated) {
+  ParallelSet set;
+  set.add(make(SolutionKind::Sequential, 0, 10.0));
+  set.add(make(SolutionKind::TaskParallel, 0, 5.0, 2));  // dominated by next
+  set.add(make(SolutionKind::TaskParallel, 0, 4.0, 2));
+  set.add(make(SolutionKind::TaskParallel, 0, 6.0, 1));  // fewer procs: kept
+  set.pruneDominated();
+  EXPECT_EQ(set.size(), 3u);
+  // 5.0/2-extra candidate must be gone.
+  for (const auto& c : set.all()) EXPECT_NE(c.timeSeconds, 5.0);
+}
+
+TEST(ParallelSet, PruneKeepsSequentialAlways) {
+  ParallelSet set;
+  set.add(make(SolutionKind::Sequential, 0, 10.0));
+  // A parallel candidate that is faster AND uses the same procs would
+  // dominate, but sequential candidates are protected by contract.
+  SolutionCandidate p = make(SolutionKind::TaskParallel, 0, 1.0, 0);
+  set.add(p);
+  set.pruneDominated();
+  EXPECT_GE(set.sequentialFor(0), 0);
+}
+
+TEST(ParallelSet, PruneNeverCrossesClasses) {
+  ParallelSet set;
+  set.add(make(SolutionKind::Sequential, 0, 10.0));
+  set.add(make(SolutionKind::Sequential, 1, 1.0));
+  set.add(make(SolutionKind::TaskParallel, 0, 9.0, 1));
+  set.pruneDominated();
+  // Class 1 being faster must not delete class 0 candidates.
+  EXPECT_GE(set.bestFor(0), 0);
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(ParallelSet, CapPerClassKeepsSequentialPlusFastest) {
+  ParallelSet set;
+  set.add(make(SolutionKind::Sequential, 0, 10.0));
+  set.add(make(SolutionKind::TaskParallel, 0, 7.0, 1));
+  set.add(make(SolutionKind::TaskParallel, 0, 3.0, 3));
+  set.add(make(SolutionKind::TaskParallel, 0, 5.0, 2));
+  set.capPerClass(2);  // sequential + 1 fastest
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_GE(set.sequentialFor(0), 0);
+  EXPECT_DOUBLE_EQ(set.at(set.bestFor(0)).timeSeconds, 3.0);
+}
+
+TEST(SolutionCandidate, TotalProcsIsMainPlusExtras) {
+  SolutionCandidate c;
+  c.taskClass = {0, 1, 1};  // 3 tasks: main + 2 extras...
+  c.extraProcs = {1, 3};    // ...already counted here, plus 2 nested borrows
+  EXPECT_EQ(c.totalProcs(), 5);
+  EXPECT_EQ(c.numTasks(), 3);
+}
+
+TEST(SolutionRef, Validity) {
+  SolutionRef r;
+  EXPECT_FALSE(r.valid());
+  r.node = 3;
+  EXPECT_FALSE(r.valid());
+  r.index = 0;
+  EXPECT_TRUE(r.valid());
+}
+
+}  // namespace
+}  // namespace hetpar::parallel

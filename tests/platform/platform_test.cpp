@@ -1,0 +1,123 @@
+#include "hetpar/platform/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetpar/platform/parser.hpp"
+#include "hetpar/platform/presets.hpp"
+#include "hetpar/support/error.hpp"
+
+namespace hetpar::platform {
+namespace {
+
+TEST(Platform, PresetAMatchesPaper) {
+  Platform a = platformA();
+  EXPECT_EQ(a.numClasses(), 3);
+  EXPECT_EQ(a.numCores(), 4);
+  // Paper footnote 2: (1*100 + 1*250 + 2*500) / 100 = 13.5x
+  EXPECT_NEAR(a.theoreticalMaxSpeedup(a.slowestClass()), 13.5, 1e-9);
+  // Footnote 3: / 500 = 2.7x
+  EXPECT_NEAR(a.theoreticalMaxSpeedup(a.fastestClass()), 2.7, 1e-9);
+}
+
+TEST(Platform, PresetBMatchesPaper) {
+  Platform b = platformB();
+  EXPECT_EQ(b.numClasses(), 2);
+  EXPECT_EQ(b.numCores(), 4);
+  // Footnote 4: (2*200 + 2*500) / 200 = 7x ; footnote 5: / 500 = 2.8x
+  EXPECT_NEAR(b.theoreticalMaxSpeedup(b.slowestClass()), 7.0, 1e-9);
+  EXPECT_NEAR(b.theoreticalMaxSpeedup(b.fastestClass()), 2.8, 1e-9);
+}
+
+TEST(Platform, TimeForOpsScalesWithFrequency) {
+  Platform a = platformA();
+  const ClassId slow = a.slowestClass();
+  const ClassId fast = a.fastestClass();
+  EXPECT_NEAR(a.timeForOps(slow, 1e6) / a.timeForOps(fast, 1e6), 5.0, 1e-9);
+  EXPECT_NEAR(a.timeForOps(fast, 500e6), 1.0, 1e-9);  // 500 MHz: 500M ops/s
+}
+
+TEST(Platform, CommTimeLatencyPlusBandwidth) {
+  Platform a = platformA();
+  const double t = a.commTimeSeconds(400.0);
+  EXPECT_GT(t, a.interconnect().latencySeconds);
+  EXPECT_NEAR(t, a.interconnect().latencySeconds + 400.0 / a.interconnect().bytesPerSecond,
+              1e-15);
+  EXPECT_EQ(a.commTimeSeconds(0.0), 0.0);
+}
+
+TEST(Platform, CoreNumberingClassMajor) {
+  Platform a = platformA();  // 1x100, 1x250, 2x500
+  EXPECT_EQ(a.classOfCore(0), 0);
+  EXPECT_EQ(a.classOfCore(1), 1);
+  EXPECT_EQ(a.classOfCore(2), 2);
+  EXPECT_EQ(a.classOfCore(3), 2);
+  EXPECT_EQ(a.firstCoreOfClass(2), 2);
+  EXPECT_THROW(a.classOfCore(4), Error);
+}
+
+TEST(Platform, FindClassByName) {
+  Platform a = platformA();
+  EXPECT_EQ(a.findClass("arm_250"), 1);
+  EXPECT_EQ(a.findClass("nope"), -1);
+}
+
+TEST(Platform, ValidationRejectsBadPlatforms) {
+  EXPECT_THROW(Platform("empty", {}, {}, 0.0), Error);
+  EXPECT_THROW(Platform("zerocount", {{"c", 100.0, 0}}, {}, 0.0), Error);
+  EXPECT_THROW(Platform("zerofreq", {{"c", 0.0, 1}}, {}, 0.0), Error);
+  EXPECT_THROW(Platform("dup", {{"c", 100.0, 1}, {"c", 200.0, 1}}, {}, 0.0), Error);
+  EXPECT_THROW(Platform("negtco", {{"c", 100.0, 1}}, {}, -1.0), Error);
+}
+
+TEST(Platform, CustomBuilder) {
+  Platform p = custom("X", {{300.0, 2}, {600.0, 1}});
+  EXPECT_EQ(p.numCores(), 3);
+  EXPECT_NEAR(p.theoreticalMaxSpeedup(p.slowestClass()), (2 * 300 + 600) / 300.0, 1e-9);
+}
+
+TEST(PlatformParser, ParsesFullDescription) {
+  Platform p = parsePlatform(R"(
+    # big.LITTLE-like config
+    platform demo
+    class little freq_mhz 200 count 2
+    class big freq_mhz 500 count 2 cpi 1.0
+    bus latency_us 2 bandwidth_mbps 200
+    tco_us 30
+  )");
+  EXPECT_EQ(p.name(), "demo");
+  EXPECT_EQ(p.numCores(), 4);
+  EXPECT_NEAR(p.interconnect().latencySeconds, 2e-6, 1e-12);
+  EXPECT_NEAR(p.interconnect().bytesPerSecond, 200e6, 1e-3);
+  EXPECT_NEAR(p.taskCreationOverheadSeconds(), 30e-6, 1e-12);
+}
+
+TEST(PlatformParser, RoundTripsPresets) {
+  for (const Platform& p : {platformA(), platformB()}) {
+    Platform q = parsePlatform(toText(p));
+    EXPECT_EQ(q.name(), p.name());
+    EXPECT_EQ(q.numCores(), p.numCores());
+    EXPECT_EQ(q.numClasses(), p.numClasses());
+    for (ClassId c = 0; c < p.numClasses(); ++c) {
+      EXPECT_NEAR(q.classAt(c).frequencyMHz, p.classAt(c).frequencyMHz, 1e-9);
+      EXPECT_EQ(q.classAt(c).count, p.classAt(c).count);
+    }
+    EXPECT_NEAR(q.taskCreationOverheadSeconds(), p.taskCreationOverheadSeconds(), 1e-12);
+  }
+}
+
+TEST(PlatformParser, RejectsMalformedInput) {
+  EXPECT_THROW(parsePlatform("class broken freq_mhz"), ParseError);
+  EXPECT_THROW(parsePlatform("class broken count 1"), ParseError);  // missing freq
+  EXPECT_THROW(parsePlatform("wat 12"), ParseError);
+  EXPECT_THROW(parsePlatform("class c freq_mhz abc count 1"), ParseError);
+}
+
+TEST(Platform, SummaryMentionsAllClasses) {
+  const std::string s = platformA().summary();
+  EXPECT_NE(s.find("1x100"), std::string::npos);
+  EXPECT_NE(s.find("1x250"), std::string::npos);
+  EXPECT_NE(s.find("2x500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetpar::platform

@@ -1,0 +1,86 @@
+#include "hetpar/sched/taskgraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetpar::sched {
+namespace {
+
+SimTask task(int core, double secs, std::vector<int> preds = {},
+             std::vector<std::pair<int, double>> transfers = {}) {
+  SimTask t;
+  t.core = core;
+  t.computeSeconds = secs;
+  t.preds = std::move(preds);
+  t.transfers = std::move(transfers);
+  return t;
+}
+
+TEST(TaskGraph, AddAssignsSequentialIds) {
+  TaskGraph g;
+  g.numCores = 2;
+  EXPECT_EQ(g.addTask(task(0, 1.0)), 0);
+  EXPECT_EQ(g.addTask(task(1, 2.0)), 1);
+  EXPECT_EQ(g.tasks[1].id, 1);
+}
+
+TEST(TaskGraph, ValidAcyclicGraphPasses) {
+  TaskGraph g;
+  g.numCores = 2;
+  g.addTask(task(0, 1.0));
+  g.addTask(task(1, 1.0, {0}, {{0, 0.25}}));
+  g.addTask(task(0, 0.0, {0, 1}));
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(TaskGraph, DetectsBadCore) {
+  TaskGraph g;
+  g.numCores = 1;
+  g.addTask(task(3, 1.0));
+  EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(TaskGraph, DetectsNonTopologicalPred) {
+  TaskGraph g;
+  g.numCores = 1;
+  g.addTask(task(0, 1.0, {1}));  // refers forward
+  g.addTask(task(0, 1.0));
+  EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(TaskGraph, DetectsSelfPred) {
+  TaskGraph g;
+  g.numCores = 1;
+  g.addTask(task(0, 1.0, {0}));
+  EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(TaskGraph, DetectsNegativeCompute) {
+  TaskGraph g;
+  g.numCores = 1;
+  g.addTask(task(0, -0.5));
+  EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(TaskGraph, DetectsNegativeTransferAndForwardTransfer) {
+  TaskGraph g;
+  g.numCores = 2;
+  g.addTask(task(0, 1.0));
+  g.addTask(task(1, 1.0, {0}, {{0, -1.0}}));
+  EXPECT_FALSE(g.validate().empty());
+
+  TaskGraph h;
+  h.numCores = 2;
+  h.addTask(task(0, 1.0, {}, {{0, 1.0}}));  // transfer from itself
+  EXPECT_FALSE(h.validate().empty());
+}
+
+TEST(TaskGraph, TotalComputeSums) {
+  TaskGraph g;
+  g.numCores = 2;
+  g.addTask(task(0, 1.5));
+  g.addTask(task(1, 2.5));
+  EXPECT_DOUBLE_EQ(g.totalComputeSeconds(), 4.0);
+}
+
+}  // namespace
+}  // namespace hetpar::sched

@@ -1,0 +1,111 @@
+#include "hetpar/sim/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetpar/platform/parser.hpp"
+#include "hetpar/support/error.hpp"
+#include "hetpar/platform/presets.hpp"
+
+namespace hetpar::sim {
+namespace {
+
+sched::SimTask task(int core, double secs, std::vector<int> preds = {}) {
+  sched::SimTask t;
+  t.core = core;
+  t.computeSeconds = secs;
+  t.preds = std::move(preds);
+  return t;
+}
+
+TEST(Energy, DefaultPowersScaleWithFrequency) {
+  const platform::Platform a = platform::platformA();
+  const double p100 = activeWatts(a.classAt(a.findClass("arm_100")));
+  const double p500 = activeWatts(a.classAt(a.findClass("arm_500")));
+  EXPECT_NEAR(p500 / p100, 5.0, 1e-9);
+  EXPECT_LT(idleWatts(a.classAt(0)), p100);
+}
+
+TEST(Energy, ExplicitPowersOverrideDefaults) {
+  const platform::Platform p = platform::parsePlatform(R"(
+    platform pw
+    class little freq_mhz 200 count 1 watts_active 0.5 watts_idle 0.02
+    bus latency_us 1 bandwidth_mbps 400
+    tco_us 25
+  )");
+  EXPECT_DOUBLE_EQ(activeWatts(p.classAt(0)), 0.5);
+  EXPECT_DOUBLE_EQ(idleWatts(p.classAt(0)), 0.02);
+}
+
+TEST(Energy, BusyPlusIdleOverMakespan) {
+  const platform::Platform pf = platform::platformB();  // 2x200 + 2x500
+  sched::TaskGraph g;
+  g.numCores = pf.numCores();
+  g.addTask(task(0, 2.0));
+  g.addTask(task(2, 1.0));  // fast core busy half the makespan
+  const SimReport r = simulate(g);
+  ASSERT_DOUBLE_EQ(r.makespanSeconds, 2.0);
+  const EnergyReport e = energyOf(r, g, pf);
+  const double a200 = activeWatts(pf.classAt(0));
+  const double i200 = idleWatts(pf.classAt(0));
+  const double a500 = activeWatts(pf.classAt(1));
+  const double i500 = idleWatts(pf.classAt(1));
+  const double expected = 2.0 * a200                    // core 0 busy whole time
+                          + 2.0 * i200                  // core 1 idle
+                          + (1.0 * a500 + 1.0 * i500)   // core 2 half busy
+                          + 2.0 * i500;                 // core 3 idle
+  EXPECT_NEAR(e.totalJoules, expected, 1e-12);
+}
+
+TEST(Energy, BusTransfersCost) {
+  const platform::Platform pf = platform::platformB();
+  sched::TaskGraph g;
+  g.numCores = pf.numCores();
+  g.addTask(task(0, 1.0));
+  sched::SimTask consumer = task(2, 1.0, {0});
+  consumer.transfers.emplace_back(0, 0.5);
+  g.addTask(std::move(consumer));
+  const SimReport r = simulate(g);
+  const EnergyReport e = energyOf(r, g, pf);
+  EXPECT_GT(e.busJoules, 0.0);
+  EXPECT_NEAR(e.busJoules, 0.5 * 0.08, 1e-12);
+}
+
+TEST(Energy, RaceToIdleTradeoffIsVisible) {
+  // The same work sequential-on-little vs split-across-everything: the
+  // parallel version finishes earlier (less idle-burn on the other cores),
+  // so with whole-chip accounting it can even SAVE energy.
+  const platform::Platform pf = platform::platformB();
+  const double work200 = 8.0;  // seconds of class-200 work
+
+  sched::TaskGraph seq;
+  seq.numCores = pf.numCores();
+  seq.addTask(task(0, work200));
+  const SimReport seqRep = simulate(seq);
+  const EnergyReport seqEnergy = energyOf(seqRep, seq, pf);
+
+  sched::TaskGraph par;
+  par.numCores = pf.numCores();
+  // Perfect 200/200/500/500-proportional split: makespan = 8 * 200/1400 s.
+  const double ms = work200 * 200.0 / 1400.0;
+  par.addTask(task(0, ms));
+  par.addTask(task(1, ms));
+  par.addTask(task(2, ms));
+  par.addTask(task(3, ms));
+  const SimReport parRep = simulate(par);
+  const EnergyReport parEnergy = energyOf(parRep, par, pf);
+
+  EXPECT_LT(parRep.makespanSeconds, seqRep.makespanSeconds);
+  // Energy-delay product must favor the parallel version decisively.
+  EXPECT_LT(parEnergy.edp(parRep.makespanSeconds), seqEnergy.edp(seqRep.makespanSeconds));
+}
+
+TEST(Energy, MismatchedCoreCountRejected) {
+  sched::TaskGraph g;
+  g.numCores = 2;
+  g.addTask(task(0, 1.0));
+  const SimReport r = simulate(g);
+  EXPECT_THROW(energyOf(r, g, platform::platformA()), hetpar::Error);
+}
+
+}  // namespace
+}  // namespace hetpar::sim

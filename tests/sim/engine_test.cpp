@@ -1,0 +1,63 @@
+#include "hetpar/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetpar/support/error.hpp"
+
+namespace hetpar::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(3.0, [&] { order.push_back(3); });
+  e.schedule(1.0, [&] { order.push_back(1); });
+  e.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_DOUBLE_EQ(e.run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, SimultaneousEventsAreFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) e.schedule(1.0, [&order, i] { order.push_back(i); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine e;
+  int fired = 0;
+  std::function<void(int)> chain = [&](int depth) {
+    ++fired;
+    if (depth < 4) e.schedule(e.now() + 1.0, [&, depth] { chain(depth + 1); });
+  };
+  e.schedule(0.0, [&] { chain(0); });
+  EXPECT_DOUBLE_EQ(e.run(), 4.0);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(Engine, RejectsPastScheduling) {
+  Engine e;
+  e.schedule(5.0, [&] {
+    EXPECT_THROW(e.schedule(1.0, [] {}), Error);
+  });
+  e.run();
+}
+
+TEST(Engine, NowAdvancesMonotonically) {
+  Engine e;
+  double last = -1.0;
+  for (double t : {0.5, 0.1, 0.9, 0.3}) {
+    e.schedule(t, [&, t] {
+      EXPECT_GE(t, last);
+      last = t;
+      EXPECT_DOUBLE_EQ(e.now(), t);
+    });
+  }
+  e.run();
+  EXPECT_EQ(e.eventsProcessed(), 4u);
+}
+
+}  // namespace
+}  // namespace hetpar::sim

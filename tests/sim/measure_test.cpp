@@ -1,0 +1,59 @@
+// End-to-end evaluation harness tests: the full paper pipeline on one
+// benchmark, asserting the qualitative results of Section VI.
+#include "hetpar/sim/measure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetpar/benchsuite/suite.hpp"
+#include "hetpar/platform/presets.hpp"
+
+namespace hetpar::sim {
+namespace {
+
+const EvalResult& firResultA() {
+  static const EvalResult r = evaluateBenchmark(
+      "fir_256", benchsuite::find("fir_256").source, platform::platformA(),
+      Scenario::Accelerator);
+  return r;
+}
+
+TEST(Measure, MainClassSelection) {
+  const platform::Platform a = platform::platformA();
+  EXPECT_EQ(mainClassFor(a, Scenario::Accelerator), a.slowestClass());
+  EXPECT_EQ(mainClassFor(a, Scenario::SlowerCores), a.fastestClass());
+}
+
+TEST(Measure, AcceleratorScenarioShape) {
+  const EvalResult& r = firResultA();
+  EXPECT_GT(r.sequentialSeconds, 0.0);
+  EXPECT_NEAR(r.theoreticalLimit, 13.5, 1e-9);
+  // Heterogeneous beats homogeneous, both beat sequential, nothing beats
+  // the theoretical limit (paper Figure 7(a)).
+  EXPECT_GT(r.heterogeneousSpeedup, r.homogeneousSpeedup);
+  EXPECT_GT(r.heterogeneousSpeedup, 4.0);
+  EXPECT_LT(r.heterogeneousSpeedup, r.theoreticalLimit);
+  EXPECT_GT(r.homogeneousSpeedup, 1.5);
+}
+
+TEST(Measure, StatsShapeMatchesTableI) {
+  const EvalResult& r = firResultA();
+  EXPECT_GT(r.heterogeneousStats.numIlps, r.homogeneousStats.numIlps);
+  EXPECT_GT(r.heterogeneousStats.numVars, r.homogeneousStats.numVars);
+  EXPECT_GT(r.heterogeneousStats.numConstraints, r.homogeneousStats.numConstraints);
+}
+
+TEST(Measure, SlowerCoresScenarioShape) {
+  static const EvalResult r = evaluateBenchmark(
+      "fir_256", benchsuite::find("fir_256").source, platform::platformA(),
+      Scenario::SlowerCores);
+  EXPECT_NEAR(r.theoreticalLimit, 2.7, 1e-9);
+  // Paper Figure 7(b): heterogeneous > 1x, homogeneous around or below 1x,
+  // heterogeneous strictly better.
+  EXPECT_GE(r.heterogeneousSpeedup, 1.0);
+  EXPECT_GT(r.heterogeneousSpeedup, r.homogeneousSpeedup);
+  EXPECT_LT(r.homogeneousSpeedup, 1.6);
+  EXPECT_LT(r.heterogeneousSpeedup, r.theoreticalLimit + 1e-9);
+}
+
+}  // namespace
+}  // namespace hetpar::sim

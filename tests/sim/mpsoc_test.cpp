@@ -1,0 +1,135 @@
+#include "hetpar/sim/mpsoc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetpar/support/error.hpp"
+
+namespace hetpar::sim {
+namespace {
+
+sched::SimTask task(int core, double secs, std::vector<int> preds = {},
+                    std::vector<std::pair<int, double>> transfers = {}) {
+  sched::SimTask t;
+  t.core = core;
+  t.computeSeconds = secs;
+  t.preds = std::move(preds);
+  t.transfers = std::move(transfers);
+  return t;
+}
+
+TEST(Mpsoc, SingleTask) {
+  sched::TaskGraph g;
+  g.numCores = 1;
+  g.addTask(task(0, 2.5));
+  SimReport r = simulate(g);
+  EXPECT_DOUBLE_EQ(r.makespanSeconds, 2.5);
+  EXPECT_DOUBLE_EQ(r.cores[0].busySeconds, 2.5);
+  EXPECT_EQ(r.cores[0].tasksRun, 1);
+}
+
+TEST(Mpsoc, IndependentTasksOnDifferentCoresOverlap) {
+  sched::TaskGraph g;
+  g.numCores = 2;
+  g.addTask(task(0, 3.0));
+  g.addTask(task(1, 2.0));
+  SimReport r = simulate(g);
+  EXPECT_DOUBLE_EQ(r.makespanSeconds, 3.0);
+}
+
+TEST(Mpsoc, SameCoreSerializesInIdOrder) {
+  sched::TaskGraph g;
+  g.numCores = 1;
+  g.addTask(task(0, 1.0));
+  g.addTask(task(0, 2.0));
+  SimReport r = simulate(g);
+  EXPECT_DOUBLE_EQ(r.makespanSeconds, 3.0);
+  EXPECT_DOUBLE_EQ(r.taskStart[1], 1.0);
+}
+
+TEST(Mpsoc, PrecedenceRespected) {
+  sched::TaskGraph g;
+  g.numCores = 2;
+  g.addTask(task(0, 2.0));
+  g.addTask(task(1, 1.0, {0}));
+  SimReport r = simulate(g);
+  EXPECT_DOUBLE_EQ(r.taskStart[1], 2.0);
+  EXPECT_DOUBLE_EQ(r.makespanSeconds, 3.0);
+}
+
+TEST(Mpsoc, TransfersDelayConsumers) {
+  sched::TaskGraph g;
+  g.numCores = 2;
+  g.addTask(task(0, 1.0));
+  g.addTask(task(1, 1.0, {0}, {{0, 0.5}}));
+  SimReport r = simulate(g);
+  EXPECT_DOUBLE_EQ(r.taskStart[1], 1.5);
+  EXPECT_DOUBLE_EQ(r.makespanSeconds, 2.5);
+  EXPECT_EQ(r.busTransfers, 1);
+  EXPECT_DOUBLE_EQ(r.busBusySeconds, 0.5);
+}
+
+TEST(Mpsoc, BusSerializesTransfers) {
+  sched::TaskGraph g;
+  g.numCores = 3;
+  g.addTask(task(0, 1.0));                            // producer A
+  g.addTask(task(1, 1.0));                            // producer B
+  g.addTask(task(2, 0.1, {0, 1}, {{0, 2.0}, {1, 2.0}}));  // consumer
+  SimReport r = simulate(g);
+  // Both transfers finish at 1.0 + 2.0 + 2.0 = 5.0 (FIFO on one bus).
+  EXPECT_DOUBLE_EQ(r.taskStart[2], 5.0);
+}
+
+TEST(Mpsoc, DiamondCriticalPath) {
+  sched::TaskGraph g;
+  g.numCores = 3;
+  g.addTask(task(0, 1.0));             // source
+  g.addTask(task(1, 5.0, {0}));        // slow branch
+  g.addTask(task(2, 1.0, {0}));        // fast branch
+  g.addTask(task(0, 1.0, {1, 2}));     // join
+  SimReport r = simulate(g);
+  EXPECT_DOUBLE_EQ(r.makespanSeconds, 1.0 + 5.0 + 1.0);
+}
+
+TEST(Mpsoc, HeterogeneousFinishImbalance) {
+  // Models the paper's slowdown mechanism: equal work on unequal cores.
+  sched::TaskGraph g;
+  g.numCores = 2;
+  g.addTask(task(0, 1.0));        // fast core finishes its half early
+  g.addTask(task(1, 5.0));        // slow core drags the makespan
+  g.addTask(task(0, 0.0, {0, 1}));
+  SimReport r = simulate(g);
+  EXPECT_DOUBLE_EQ(r.makespanSeconds, 5.0);
+  EXPECT_NEAR(r.utilization(0), 0.2, 1e-9);
+  EXPECT_NEAR(r.utilization(1), 1.0, 1e-9);
+}
+
+TEST(Mpsoc, ReadyTaskPrefersLowestId) {
+  sched::TaskGraph g;
+  g.numCores = 1;
+  g.addTask(task(0, 1.0));
+  g.addTask(task(0, 1.0));  // both ready at t=0; id order
+  g.addTask(task(0, 1.0));
+  SimReport r = simulate(g);
+  EXPECT_DOUBLE_EQ(r.taskStart[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.taskStart[1], 1.0);
+  EXPECT_DOUBLE_EQ(r.taskStart[2], 2.0);
+}
+
+TEST(Mpsoc, InvalidGraphRejected) {
+  sched::TaskGraph g;
+  g.numCores = 1;
+  g.addTask(task(3, 1.0));  // core out of range
+  EXPECT_THROW(simulate(g), Error);
+}
+
+TEST(Mpsoc, ZeroDurationChainsAreFine) {
+  sched::TaskGraph g;
+  g.numCores = 1;
+  int prev = g.addTask(task(0, 0.0));
+  for (int i = 0; i < 5; ++i) prev = g.addTask(task(0, 0.0, {prev}));
+  SimReport r = simulate(g);
+  EXPECT_DOUBLE_EQ(r.makespanSeconds, 0.0);
+}
+
+}  // namespace
+}  // namespace hetpar::sim

@@ -1,0 +1,215 @@
+// hetparc — command-line driver for the hetpar tool flow.
+//
+//   hetparc [options] <source.c>
+//
+//   --preset A|B            builtin evaluation platform (default: A)
+//   --platform <file>       platform description file (overrides --preset)
+//   --main-class <name>     processor class running the main task
+//                           (default: the slowest class)
+//   --emit-annotated <f>    write the pragma-annotated source
+//   --emit-parspec <f>      write the MPA-style parallel specification
+//   --emit-premap <f>       write the task-to-class pre-mapping
+//   --emit-dot <f>          write the HTG as Graphviz
+//   --simulate              simulate sequential vs parallel on the MPSoC
+//   --baseline              also run the heterogeneity-oblivious baseline [6]
+//   --stats                 print ILP statistics (Table I columns)
+//   --seq-only              stop after HTG extraction (no ILPs)
+//
+// Exit codes: 0 success, 1 usage error, 2 input error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "hetpar/codegen/annotate.hpp"
+#include "hetpar/codegen/mpa_spec.hpp"
+#include "hetpar/codegen/premap_spec.hpp"
+#include "hetpar/htg/builder.hpp"
+#include "hetpar/htg/dot.hpp"
+#include "hetpar/htg/validate.hpp"
+#include "hetpar/parallel/homogeneous.hpp"
+#include "hetpar/parallel/parallelizer.hpp"
+#include "hetpar/platform/parser.hpp"
+#include "hetpar/platform/presets.hpp"
+#include "hetpar/sched/flatten.hpp"
+#include "hetpar/sim/mpsoc.hpp"
+#include "hetpar/support/error.hpp"
+
+namespace {
+
+struct Options {
+  std::string sourcePath;
+  std::string preset = "A";
+  std::string platformPath;
+  std::string mainClassName;
+  std::string emitAnnotated;
+  std::string emitParspec;
+  std::string emitPremap;
+  std::string emitDot;
+  bool simulate = false;
+  bool baseline = false;
+  bool stats = false;
+  bool seqOnly = false;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: hetparc [options] <source.c>\n"
+               "  --preset A|B  --platform <file>  --main-class <name>\n"
+               "  --emit-annotated <f>  --emit-parspec <f>  --emit-premap <f>  --emit-dot <f>\n"
+               "  --simulate  --baseline  --stats  --seq-only\n");
+}
+
+bool parseArgs(int argc, char** argv, Options& opts) {
+  auto needValue = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = nullptr;
+    if (arg == "--preset") {
+      if ((value = needValue(i)) == nullptr) return false;
+      opts.preset = value;
+    } else if (arg == "--platform") {
+      if ((value = needValue(i)) == nullptr) return false;
+      opts.platformPath = value;
+    } else if (arg == "--main-class") {
+      if ((value = needValue(i)) == nullptr) return false;
+      opts.mainClassName = value;
+    } else if (arg == "--emit-annotated") {
+      if ((value = needValue(i)) == nullptr) return false;
+      opts.emitAnnotated = value;
+    } else if (arg == "--emit-parspec") {
+      if ((value = needValue(i)) == nullptr) return false;
+      opts.emitParspec = value;
+    } else if (arg == "--emit-premap") {
+      if ((value = needValue(i)) == nullptr) return false;
+      opts.emitPremap = value;
+    } else if (arg == "--emit-dot") {
+      if ((value = needValue(i)) == nullptr) return false;
+      opts.emitDot = value;
+    } else if (arg == "--simulate") {
+      opts.simulate = true;
+    } else if (arg == "--baseline") {
+      opts.baseline = true;
+    } else if (arg == "--stats") {
+      opts.stats = true;
+    } else if (arg == "--seq-only") {
+      opts.seqOnly = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "hetparc: unknown option '%s'\n", arg.c_str());
+      return false;
+    } else if (opts.sourcePath.empty()) {
+      opts.sourcePath = arg;
+    } else {
+      std::fprintf(stderr, "hetparc: more than one input file\n");
+      return false;
+    }
+  }
+  return !opts.sourcePath.empty();
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  hetpar::require(in.good(), "cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void writeFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  hetpar::require(out.good(), "cannot write '" + path + "'");
+  out << contents;
+  std::fprintf(stderr, "hetparc: wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hetpar;
+  Options opts;
+  if (!parseArgs(argc, argv, opts)) {
+    usage();
+    return 1;
+  }
+
+  try {
+    const platform::Platform pf =
+        !opts.platformPath.empty() ? platform::parsePlatform(readFile(opts.platformPath))
+        : opts.preset == "B"       ? platform::platformB()
+                                   : platform::platformA();
+
+    platform::ClassId mainClass = pf.slowestClass();
+    if (!opts.mainClassName.empty()) {
+      mainClass = pf.findClass(opts.mainClassName);
+      require(mainClass >= 0, "platform has no class named '" + opts.mainClassName + "'");
+    }
+
+    std::fprintf(stderr, "hetparc: platform %s, main class %s\n", pf.summary().c_str(),
+                 pf.classAt(mainClass).name.c_str());
+
+    htg::FrontendBundle bundle = htg::buildFromSource(readFile(opts.sourcePath));
+    htg::validateOrThrow(bundle.graph);
+    std::fprintf(stderr, "hetparc: HTG %zu nodes (%d hierarchical), %.0f profiled ops, "
+                         "checksum %lld\n",
+                 bundle.graph.size(), bundle.graph.hierarchicalCount(),
+                 bundle.profile.totalOps, bundle.profile.exitValue);
+    if (!opts.emitDot.empty()) writeFile(opts.emitDot, htg::toDot(bundle.graph));
+    if (opts.seqOnly) return 0;
+
+    const cost::TimingModel timing(pf);
+    parallel::Parallelizer tool(bundle.graph, timing);
+    parallel::ParallelizeOutcome outcome = tool.run();
+    if (opts.stats)
+      std::printf("heterogeneous ILP statistics: %s\n", outcome.stats.summary().c_str());
+
+    const parallel::SolutionRef best = outcome.bestRoot(bundle.graph, mainClass);
+    const auto& rootSet = outcome.table.at(bundle.graph.root());
+    const double estSeq = rootSet.at(rootSet.sequentialFor(mainClass)).timeSeconds;
+    const double estPar = rootSet.at(best.index).timeSeconds;
+    std::printf("estimated: sequential %.3f ms, parallel %.3f ms (%.2fx, limit %.2fx)\n",
+                estSeq * 1e3, estPar * 1e3, estSeq / estPar,
+                pf.theoreticalMaxSpeedup(mainClass));
+
+    if (!opts.emitAnnotated.empty())
+      writeFile(opts.emitAnnotated,
+                codegen::annotateSource(bundle.program, bundle.graph, outcome.table, best, pf));
+    if (!opts.emitParspec.empty())
+      writeFile(opts.emitParspec, codegen::mpaSpec(bundle.graph, outcome.table, best));
+    if (!opts.emitPremap.empty())
+      writeFile(opts.emitPremap, codegen::premapSpec(bundle.graph, outcome.table, best, pf));
+
+    if (opts.simulate) {
+      const int mainCore = pf.firstCoreOfClass(mainClass);
+      const double seq =
+          sim::simulate(sched::flattenSequential(bundle.graph, timing, mainCore).graph)
+              .makespanSeconds;
+      const auto flat = sched::flatten(bundle.graph, outcome.table, best, timing, mainCore);
+      const sim::SimReport rep = sim::simulate(flat.graph);
+      std::printf("simulated: sequential %.3f ms, parallel %.3f ms (%.2fx) over %zu tasks\n",
+                  seq * 1e3, rep.makespanSeconds * 1e3, seq / rep.makespanSeconds,
+                  flat.graph.tasks.size());
+
+      if (opts.baseline) {
+        parallel::HomogeneousRun homog =
+            parallel::runHomogeneousBaseline(bundle.graph, pf, mainClass);
+        if (opts.stats)
+          std::printf("homogeneous ILP statistics:   %s\n", homog.outcome.stats.summary().c_str());
+        sched::FlattenOptions fo;
+        fo.classAwareAllocation = false;
+        const auto homFlat = sched::flatten(bundle.graph, homog.outcome.table,
+                                            homog.outcome.bestRoot(bundle.graph, 0), timing,
+                                            mainCore, fo);
+        const double hom = sim::simulate(homFlat.graph).makespanSeconds;
+        std::printf("baseline [6]: parallel %.3f ms (%.2fx)\n", hom * 1e3, seq / hom);
+      }
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "hetparc: error: %s\n", e.what());
+    return 2;
+  }
+}
