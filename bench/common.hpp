@@ -2,11 +2,13 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "hetpar/benchsuite/suite.hpp"
 #include "hetpar/sim/measure.hpp"
+#include "hetpar/support/error.hpp"
 #include "hetpar/support/strings.hpp"
 
 namespace hetpar::bench {
@@ -23,18 +25,66 @@ inline ScenarioPair evaluateBoth(const std::string& name, const std::string& sou
   return sim::evaluateBenchmarkAllScenarios(name, source, pf, options);
 }
 
-/// Parses `--benchmarks a,b,c` style filters; empty = full suite.
-inline std::vector<benchsuite::Benchmark> selectBenchmarks(int argc, char** argv) {
+/// Flags shared by the bench binaries.
+struct BenchArgs {
+  std::vector<benchsuite::Benchmark> benchmarks;  ///< empty filter = full suite
+  int jobs = 1;  ///< Parallelizer solver threads (0 = hardware concurrency)
+};
+
+/// Parses `--benchmarks a,b,c` / `--benchmarks=a,b,c` (comma-separated
+/// either way) and `--jobs N` / `--jobs=N`. Unknown flags and stray
+/// positionals are usage errors: benchmark typos must not silently fall
+/// back to the full multi-minute suite.
+inline BenchArgs parseBenchArgs(int argc, char** argv) {
+  auto fail = [&](const std::string& message) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], message.c_str());
+    std::fprintf(stderr, "usage: %s [--benchmarks a,b,c] [--jobs N]\n", argv[0]);
+    std::exit(1);
+  };
+  BenchArgs args;
   std::string filter;
+  std::string jobsText;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--benchmarks=", 0) == 0) filter = arg.substr(13);
+    if (arg.rfind("--benchmarks=", 0) == 0) {
+      filter = arg.substr(13);
+    } else if (arg == "--benchmarks") {
+      if (i + 1 >= argc) fail("--benchmarks expects a comma-separated list");
+      filter = argv[++i];
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobsText = arg.substr(7);
+    } else if (arg == "--jobs") {
+      if (i + 1 >= argc) fail("--jobs expects a non-negative integer");
+      jobsText = argv[++i];
+    } else {
+      fail("unknown argument '" + arg + "'");
+    }
   }
-  if (filter.empty()) return benchsuite::suite();
-  std::vector<benchsuite::Benchmark> out;
-  for (const std::string& name : strings::split(filter, ','))
-    out.push_back(benchsuite::find(std::string(strings::trim(name))));
-  return out;
+  if (!jobsText.empty()) {
+    char* end = nullptr;
+    const long jobs = std::strtol(jobsText.c_str(), &end, 10);
+    if (end == jobsText.c_str() || *end != '\0' || jobs < 0)
+      fail("--jobs expects a non-negative integer, got '" + jobsText + "'");
+    args.jobs = static_cast<int>(jobs);
+  }
+  if (filter.empty()) {
+    args.benchmarks = benchsuite::suite();
+  } else {
+    for (const std::string& name : strings::split(filter, ',')) {
+      const std::string trimmed{strings::trim(name)};
+      try {
+        args.benchmarks.push_back(benchsuite::find(trimmed));
+      } catch (const Error&) {
+        fail("unknown benchmark '" + trimmed + "'");
+      }
+    }
+  }
+  return args;
+}
+
+/// Parses `--benchmarks a,b,c` style filters; empty = full suite.
+inline std::vector<benchsuite::Benchmark> selectBenchmarks(int argc, char** argv) {
+  return parseBenchArgs(argc, argv).benchmarks;
 }
 
 inline void printScenarioTable(const char* title, double limit,

@@ -15,7 +15,9 @@
 int main(int argc, char** argv) {
   using namespace hetpar;
   const platform::Platform pf = platform::platformA();
-  const auto benchmarks = bench::selectBenchmarks(argc, argv);
+  const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+  sim::EvalOptions evalOptions;
+  evalOptions.parallelizer.jobs = args.jobs;
 
   std::vector<std::string> names;
   std::vector<double> homA, hetA, homB, hetB;
@@ -23,9 +25,9 @@ int main(int argc, char** argv) {
   double limitB = 0.0;
 
   std::printf("Platform configuration (A): %s\n", pf.summary().c_str());
-  for (const auto& b : benchmarks) {
+  for (const auto& b : args.benchmarks) {
     std::fprintf(stderr, "[fig7] evaluating %s ...\n", b.name.c_str());
-    const bench::ScenarioPair pair = bench::evaluateBoth(b.name, b.source, pf);
+    const bench::ScenarioPair pair = bench::evaluateBoth(b.name, b.source, pf, evalOptions);
     names.push_back(b.name);
     homA.push_back(pair.accelerator.homogeneousSpeedup);
     hetA.push_back(pair.accelerator.heterogeneousSpeedup);

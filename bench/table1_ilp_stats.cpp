@@ -20,7 +20,9 @@
 int main(int argc, char** argv) {
   using namespace hetpar;
   const platform::Platform pf = platform::platformA();
-  const auto benchmarks = bench::selectBenchmarks(argc, argv);
+  const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+  parallel::ParallelizerOptions parOpts;
+  parOpts.jobs = args.jobs;
 
   std::printf("Table I: statistics of the ILP-based parallelization algorithms\n");
   std::printf("platform: %s; main processor class for the baseline view: %s\n\n",
@@ -34,16 +36,16 @@ int main(int argc, char** argv) {
 
   parallel::IlpStatistics homTotal, hetTotal;
   int count = 0;
-  for (const auto& b : benchmarks) {
+  for (const auto& b : args.benchmarks) {
     std::fprintf(stderr, "[table1] parallelizing %s ...\n", b.name.c_str());
     htg::FrontendBundle bundle = htg::buildFromSource(b.source);
 
     // Homogeneous approach [6]: single-class view of the platform.
     parallel::HomogeneousRun hom =
-        parallel::runHomogeneousBaseline(bundle.graph, pf, pf.slowestClass());
+        parallel::runHomogeneousBaseline(bundle.graph, pf, pf.slowestClass(), parOpts);
     // New heterogeneous approach: full platform.
     const cost::TimingModel timing(pf);
-    parallel::Parallelizer het(bundle.graph, timing);
+    parallel::Parallelizer het(bundle.graph, timing, parOpts);
     parallel::ParallelizeOutcome hetOut = het.run();
 
     const auto& hs = hom.outcome.stats;

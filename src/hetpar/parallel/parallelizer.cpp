@@ -1,11 +1,19 @@
 #include "hetpar/parallel/parallelizer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <utility>
 
+#include "hetpar/parallel/region_cache.hpp"
 #include "hetpar/support/error.hpp"
 #include "hetpar/support/log.hpp"
 #include "hetpar/support/strings.hpp"
+#include "hetpar/support/thread_pool.hpp"
 
 namespace hetpar::parallel {
 
@@ -24,13 +32,404 @@ Parallelizer::Parallelizer(const htg::Graph& graph, const cost::TimingModel& tim
                            ParallelizerOptions options)
     : graph_(graph), timing_(timing), options_(options) {}
 
-ParallelizeOutcome Parallelizer::run() {
-  ParallelizeOutcome out;
-  parallelizeNode(graph_.root(), out);
+namespace {
+
+/// Solves a task region, first consulting the cache when one is active.
+/// Hits return the memoized result without touching the solver (and without
+/// contributing solve statistics); misses solve, account, and store.
+IlpParResult solveTaskCached(const IlpRegion& region, ilp::BranchAndBoundSolver& solver,
+                             IlpRegionCache* cache, IlpStatistics& stats) {
+  if (cache == nullptr) {
+    IlpParResult r = solveIlpPar(region, solver);
+    stats.absorb(r.stats);
+    return r;
+  }
+  const std::string key = IlpRegionCache::taskKey(region, solver.options());
+  IlpParResult r;
+  if (cache->lookupTask(key, r)) {
+    ++stats.cacheHits;
+    return r;
+  }
+  r = solveIlpPar(region, solver);
+  stats.absorb(r.stats);
+  ++stats.cacheMisses;
+  cache->storeTask(key, r);
+  return r;
+}
+
+ChunkResult solveChunkCached(const ChunkRegion& region, ilp::BranchAndBoundSolver& solver,
+                             IlpRegionCache* cache, IlpStatistics& stats) {
+  if (cache == nullptr) {
+    ChunkResult r = solveChunkIlp(region, solver);
+    stats.absorb(r.stats);
+    return r;
+  }
+  const std::string key = IlpRegionCache::chunkKey(region, solver.options());
+  ChunkResult r;
+  if (cache->lookupChunk(key, r)) {
+    ++stats.cacheHits;
+    return r;
+  }
+  r = solveChunkIlp(region, solver);
+  stats.absorb(r.stats);
+  ++stats.cacheMisses;
+  cache->storeChunk(key, r);
+  return r;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Traversal and sweep decomposition (shared by both engines)
+// ---------------------------------------------------------------------------
+
+std::vector<NodeId> Parallelizer::postOrder(std::vector<NodeId>& parent) const {
+  parent.assign(graph_.size(), htg::kNoNode);
+  std::vector<NodeId> order;
+  order.reserve(graph_.size());
+  // Explicit stack: the traversal depth equals the HTG depth, which
+  // generated inputs can make far deeper than the call stack tolerates.
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  stack.emplace_back(graph_.root(), 0);
+  while (!stack.empty()) {
+    auto& [id, next] = stack.back();
+    const Node& node = graph_.node(id);
+    if (node.isHierarchical() && next < node.children.size()) {
+      const NodeId child = node.children[next++];
+      parent[static_cast<std::size_t>(child)] = id;
+      stack.emplace_back(child, 0);
+    } else {
+      order.push_back(id);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+std::vector<SolutionKind> Parallelizer::enabledModes(NodeId id,
+                                                     const std::vector<ParallelSet>& sets) const {
+  const Node& node = graph_.node(id);
+  const platform::Platform& pf = timing_.platform();
+  const bool worthIt =
+      node.isHierarchical() &&
+      sequentialSeconds(id, pf.fastestClass(), sets) >=
+          options_.minRegionTcoMultiple * timing_.taskCreationSeconds() &&
+      node.execCount > 0;
+  std::vector<SolutionKind> modes;
+  if (!worthIt) return modes;
+  if (node.children.size() >= 2) modes.push_back(SolutionKind::TaskParallel);
+  if (options_.enableChunking && node.kind == htg::NodeKind::Loop && node.doall &&
+      node.iterationsPerExec >= 2.0)
+    modes.push_back(SolutionKind::LoopChunked);
+  return modes;
+}
+
+Parallelizer::LaneOutput Parallelizer::runLane(NodeId id, SolutionKind kind, ClassId seqPC,
+                                               double bestStartSeconds,
+                                               const std::vector<ParallelSet>& sets,
+                                               IlpRegionCache* cache) const {
+  LaneOutput out;
+  const Node& node = graph_.node(id);
+  const int numCores = timing_.platform().numCores();
+  // Algorithm 1's shrinking processor budget exists to hand the *parent*
+  // level solutions with fewer allocated units to combine; the root node
+  // has no parent, so only the full-budget candidate can ever be chosen.
+  const bool isRoot = id == graph_.root();
+
+  ilp::SolveOptions solveOpts;
+  solveOpts.timeLimitSeconds = options_.ilpTimeLimitSeconds;
+  solveOpts.maxNodes = options_.ilpMaxNodes;
+  ilp::BranchAndBoundSolver solver(solveOpts);
+
+  // Pruning bound: the fastest known candidate for this class. Only this
+  // lane produces candidates tagged `seqPC` within its phase, so the phase
+  // snapshot plus the lane's own additions is exactly what the sequential
+  // sweep would see.
+  double bestSeconds = bestStartSeconds;
+  int budget = numCores;
+  while (budget > 1) {
+    SolutionCandidate cand;
+    bool feasible = false;
+    double upperBound = bestSeconds;
+    if (kind == SolutionKind::TaskParallel) {
+      IlpRegion region = buildTaskRegion(id, sets, seqPC, budget);
+      // The greedy all-in-main assignment is always feasible: it seeds the
+      // ILP's upper bound and doubles as a fallback candidate when the
+      // solver hits its limits first.
+      SolutionCandidate greedy = greedyAllInMain(region);
+      if (greedy.timeSeconds > 0 &&
+          (upperBound <= 0 || greedy.timeSeconds * 1.02 < upperBound))
+        upperBound = greedy.timeSeconds * 1.02;
+      region.upperBoundSeconds = upperBound;
+      const IlpParResult r = solveTaskCached(region, solver, cache, out.stats);
+      feasible = r.feasible;
+      if (feasible) cand = decodeTaskParallel(node, region, r);
+      if (greedy.timeSeconds > 0 && greedy.totalProcs() > 1 &&
+          (!feasible || greedy.timeSeconds < cand.timeSeconds)) {
+        if (greedy.timeSeconds < bestSeconds) bestSeconds = greedy.timeSeconds;
+        out.adds.push_back(std::move(greedy));
+      }
+    } else {
+      ChunkRegion region = buildChunkRegion(id, sets, seqPC, budget);
+      region.upperBoundSeconds = upperBound;
+      const ChunkResult r = solveChunkCached(region, solver, cache, out.stats);
+      feasible = r.feasible;
+      if (feasible) cand = decodeChunked(node, r, seqPC);
+    }
+    if (!feasible) break;
+    const int procs = cand.totalProcs();
+    if (procs > 1) {
+      if (cand.timeSeconds < bestSeconds) bestSeconds = cand.timeSeconds;
+      out.adds.push_back(std::move(cand));
+    }
+    if (isRoot) break;
+    // Algorithm 1: i <- NUMBEROFTASKS(r) - 1, strictly decreasing.
+    budget = std::min(budget - 1, procs - 1);
+  }
   return out;
 }
 
-double Parallelizer::sequentialSeconds(NodeId id, ClassId c, const SolutionTable& table) const {
+// ---------------------------------------------------------------------------
+// Sequential engine (jobs == 1): the reference semantics
+// ---------------------------------------------------------------------------
+
+void Parallelizer::runSequential(const std::vector<NodeId>& order,
+                                 std::vector<ParallelSet>& sets,
+                                 std::vector<IlpStatistics>& nodeStats,
+                                 IlpRegionCache* cache) const {
+  const int C = timing_.platform().numClasses();
+  for (NodeId id : order) {
+    ParallelSet set;
+    addSequentialCandidates(id, sets, set);
+    for (SolutionKind kind : enabledModes(id, sets)) {
+      for (ClassId seqPC = 0; seqPC < C; ++seqPC) {
+        const int best = set.bestFor(seqPC);
+        const double bestStart = best >= 0 ? set.at(best).timeSeconds : 0.0;
+        LaneOutput lane = runLane(id, kind, seqPC, bestStart, sets, cache);
+        for (SolutionCandidate& cand : lane.adds) set.add(std::move(cand));
+        nodeStats[static_cast<std::size_t>(id)].merge(lane.stats);
+      }
+    }
+    set.pruneDominated();
+    set.capPerClass(options_.maxCandidatesPerClass);
+    sets[static_cast<std::size_t>(id)] = std::move(set);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent engine (jobs > 1): bottom-up wavefront over the pool
+// ---------------------------------------------------------------------------
+//
+// Continuation-style scheduling: no task ever blocks waiting for another
+// (blocking waits inside a fixed-size pool deadlock once the waiters use up
+// all workers). Progress is driven by atomic countdowns — the last lane of
+// a phase merges and starts the next phase, the last child of a node posts
+// its parent — and the calling thread waits on a condition variable until
+// every node has been finalized.
+
+struct Parallelizer::RunState {
+  struct NodeWork {
+    ParallelSet set;
+    std::vector<SolutionKind> modes;
+    std::size_t phaseIndex = 0;
+    std::vector<LaneOutput> lanes;
+    std::atomic<int> pendingLanes{0};
+    std::atomic<int> pendingChildren{0};
+  };
+
+  explicit RunState(std::size_t numNodes) : work(numNodes) {}
+
+  std::vector<NodeWork> work;  ///< indexed by NodeId
+  const std::vector<NodeId>* parent = nullptr;
+  std::vector<ParallelSet>* sets = nullptr;
+  std::vector<IlpStatistics>* nodeStats = nullptr;
+  IlpRegionCache* cache = nullptr;
+  support::ThreadPool* pool = nullptr;
+  std::atomic<int> nodesRemaining{0};
+
+  // First failure wins; everything after it short-circuits to bookkeeping
+  // so the countdowns still reach zero and the caller can rethrow.
+  std::atomic<bool> aborted{false};
+  std::mutex errorMutex;
+  std::exception_ptr firstError;
+
+  std::mutex doneMutex;
+  std::condition_variable doneCv;
+
+  void recordError(std::exception_ptr error) {
+    {
+      std::lock_guard<std::mutex> lock(errorMutex);
+      if (!firstError) firstError = std::move(error);
+    }
+    aborted.store(true, std::memory_order_release);
+  }
+};
+
+void Parallelizer::processNode(RunState& rs, NodeId id) const {
+  RunState::NodeWork& nw = rs.work[static_cast<std::size_t>(id)];
+  if (!rs.aborted.load(std::memory_order_acquire)) {
+    try {
+      addSequentialCandidates(id, *rs.sets, nw.set);
+      nw.modes = enabledModes(id, *rs.sets);
+    } catch (...) {
+      rs.recordError(std::current_exception());
+    }
+  }
+  if (rs.aborted.load(std::memory_order_acquire) || nw.modes.empty()) {
+    finalizeNode(rs, id);
+    return;
+  }
+  startPhase(rs, id);
+}
+
+void Parallelizer::startPhase(RunState& rs, NodeId id) const {
+  RunState::NodeWork& nw = rs.work[static_cast<std::size_t>(id)];
+  const SolutionKind kind = nw.modes[nw.phaseIndex];
+  const int C = timing_.platform().numClasses();
+  nw.lanes.clear();
+  nw.lanes.resize(static_cast<std::size_t>(C));
+  nw.pendingLanes.store(C, std::memory_order_relaxed);
+  // The phase boundary is a barrier on purpose: a LoopChunked lane's
+  // starting bound must include the TaskParallel candidates of the same
+  // seqPC, exactly like the sequential sweep's mode ordering.
+  for (ClassId seqPC = 0; seqPC < C; ++seqPC) {
+    const int best = nw.set.bestFor(seqPC);
+    const double bestStart = best >= 0 ? nw.set.at(best).timeSeconds : 0.0;
+    rs.pool->post([this, &rs, id, kind, seqPC, bestStart] {
+      RunState::NodeWork& w = rs.work[static_cast<std::size_t>(id)];
+      if (!rs.aborted.load(std::memory_order_acquire)) {
+        try {
+          w.lanes[static_cast<std::size_t>(seqPC)] =
+              runLane(id, kind, seqPC, bestStart, *rs.sets, rs.cache);
+        } catch (...) {
+          rs.recordError(std::current_exception());
+        }
+      }
+      if (w.pendingLanes.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        completePhase(rs, id);
+    });
+  }
+}
+
+void Parallelizer::completePhase(RunState& rs, NodeId id) const {
+  RunState::NodeWork& nw = rs.work[static_cast<std::size_t>(id)];
+  if (rs.aborted.load(std::memory_order_acquire)) {
+    finalizeNode(rs, id);
+    return;
+  }
+  // Canonical merge order: lanes in seqPC order (the phases themselves run
+  // in mode order), regardless of which thread finished when.
+  for (LaneOutput& lane : nw.lanes) {
+    for (SolutionCandidate& cand : lane.adds) nw.set.add(std::move(cand));
+    (*rs.nodeStats)[static_cast<std::size_t>(id)].merge(lane.stats);
+  }
+  ++nw.phaseIndex;
+  if (nw.phaseIndex < nw.modes.size())
+    startPhase(rs, id);
+  else
+    finalizeNode(rs, id);
+}
+
+void Parallelizer::finalizeNode(RunState& rs, NodeId id) const {
+  RunState::NodeWork& nw = rs.work[static_cast<std::size_t>(id)];
+  if (!rs.aborted.load(std::memory_order_acquire)) {
+    try {
+      nw.set.pruneDominated();
+      nw.set.capPerClass(options_.maxCandidatesPerClass);
+      (*rs.sets)[static_cast<std::size_t>(id)] = std::move(nw.set);
+    } catch (...) {
+      rs.recordError(std::current_exception());
+    }
+  }
+  const NodeId p = (*rs.parent)[static_cast<std::size_t>(id)];
+  if (p != htg::kNoNode &&
+      rs.work[static_cast<std::size_t>(p)].pendingChildren.fetch_sub(
+          1, std::memory_order_acq_rel) == 1)
+    // Post rather than recurse: a chain of trivial ancestors would otherwise
+    // unwind on this thread's call stack.
+    rs.pool->post([this, &rs, p] { processNode(rs, p); });
+  if (rs.nodesRemaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(rs.doneMutex);
+    rs.doneCv.notify_all();
+  }
+}
+
+void Parallelizer::runConcurrent(int jobs, const std::vector<NodeId>& order,
+                                 const std::vector<NodeId>& parent,
+                                 std::vector<ParallelSet>& sets,
+                                 std::vector<IlpStatistics>& nodeStats,
+                                 IlpRegionCache* cache) const {
+  RunState rs(graph_.size());
+  rs.parent = &parent;
+  rs.sets = &sets;
+  rs.nodeStats = &nodeStats;
+  rs.cache = cache;
+  rs.nodesRemaining.store(static_cast<int>(order.size()), std::memory_order_relaxed);
+
+  std::vector<NodeId> seeds;
+  for (NodeId id : order) {
+    const Node& node = graph_.node(id);
+    const int kids = node.isHierarchical() ? static_cast<int>(node.children.size()) : 0;
+    rs.work[static_cast<std::size_t>(id)].pendingChildren.store(kids,
+                                                                std::memory_order_relaxed);
+    if (kids == 0) seeds.push_back(id);
+  }
+
+  support::ThreadPool pool(jobs);
+  rs.pool = &pool;
+  for (NodeId id : seeds) pool.post([this, &rs, id] { processNode(rs, id); });
+
+  {
+    std::unique_lock<std::mutex> lock(rs.doneMutex);
+    rs.doneCv.wait(lock, [&rs] {
+      return rs.nodesRemaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (rs.firstError) std::rethrow_exception(rs.firstError);
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+ParallelizeOutcome Parallelizer::run() {
+  std::vector<NodeId> parent;
+  const std::vector<NodeId> order = postOrder(parent);
+
+  std::unique_ptr<IlpRegionCache> privateCache;
+  IlpRegionCache* cache = nullptr;
+  if (options_.regionCache != nullptr) {
+    cache = options_.regionCache.get();
+  } else if (options_.enableRegionCache) {
+    privateCache = std::make_unique<IlpRegionCache>();
+    cache = privateCache.get();
+  }
+
+  std::vector<ParallelSet> sets(graph_.size());
+  std::vector<IlpStatistics> nodeStats(graph_.size());
+
+  const int jobs = support::ThreadPool::resolveJobs(options_.jobs);
+  if (jobs <= 1)
+    runSequential(order, sets, nodeStats, cache);
+  else
+    runConcurrent(jobs, order, parent, sets, nodeStats, cache);
+
+  ParallelizeOutcome out;
+  for (NodeId id : order) {
+    // Post-order stats merging keeps the floating-point summation order
+    // independent of the jobs count.
+    out.stats.merge(nodeStats[static_cast<std::size_t>(id)]);
+    out.table.emplace(id, std::move(sets[static_cast<std::size_t>(id)]));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Candidate construction helpers
+// ---------------------------------------------------------------------------
+
+double Parallelizer::sequentialSeconds(NodeId id, ClassId c,
+                                       const std::vector<ParallelSet>& sets) const {
   // Equivalent to the node's Sequential candidate; kept as a direct
   // computation so callers can query before the set exists.
   const Node& n = graph_.node(id);
@@ -39,123 +438,30 @@ double Parallelizer::sequentialSeconds(NodeId id, ClassId c, const SolutionTable
     for (NodeId childId : n.children) {
       const Node& child = graph_.node(childId);
       const double ratio = n.execCount > 0 ? child.execCount / n.execCount : 0.0;
-      auto it = table.find(childId);
-      HETPAR_CHECK_MSG(it != table.end(), "child parallel set missing (bottom-up order broken)");
-      const int seq = it->second.sequentialFor(c);
-      HETPAR_CHECK(seq >= 0);
-      seconds += ratio * it->second.at(seq).timeSeconds;
+      const ParallelSet& childSet = sets[static_cast<std::size_t>(childId)];
+      const int seq = childSet.sequentialFor(c);
+      HETPAR_CHECK_MSG(seq >= 0, "child parallel set missing (bottom-up order broken)");
+      seconds += ratio * childSet.at(seq).timeSeconds;
     }
   }
   return seconds;
 }
 
-void Parallelizer::addSequentialCandidates(NodeId id, const SolutionTable& table,
-                                           ParallelSet& set) {
+void Parallelizer::addSequentialCandidates(NodeId id, const std::vector<ParallelSet>& sets,
+                                           ParallelSet& set) const {
   const int C = timing_.platform().numClasses();
   for (ClassId c = 0; c < C; ++c) {
     SolutionCandidate cand;
     cand.kind = SolutionKind::Sequential;
     cand.mainClass = c;
-    cand.timeSeconds = sequentialSeconds(id, c, table);
+    cand.timeSeconds = sequentialSeconds(id, c, sets);
     cand.extraProcs.assign(static_cast<std::size_t>(C), 0);
     cand.taskClass = {c};
     set.add(std::move(cand));
   }
 }
 
-void Parallelizer::parallelizeNode(NodeId id, ParallelizeOutcome& out) {
-  const Node& node = graph_.node(id);
-
-  // "Parallelize bottom-up in hierarchy, first."
-  if (node.isHierarchical())
-    for (NodeId child : node.children) parallelizeNode(child, out);
-
-  ParallelSet set;
-  addSequentialCandidates(id, out.table, set);
-
-  const platform::Platform& pf = timing_.platform();
-  const int numCores = pf.numCores();
-  const bool worthIt =
-      node.isHierarchical() &&
-      sequentialSeconds(id, pf.fastestClass(), out.table) >=
-          options_.minRegionTcoMultiple * timing_.taskCreationSeconds() &&
-      node.execCount > 0;
-
-  if (worthIt) {
-    ilp::SolveOptions solveOpts;
-    solveOpts.timeLimitSeconds = options_.ilpTimeLimitSeconds;
-    solveOpts.maxNodes = options_.ilpMaxNodes;
-    ilp::BranchAndBoundSolver solver(solveOpts);
-
-    struct Mode {
-      SolutionKind kind;
-      bool enabled;
-    };
-    const bool canTaskParallel = node.children.size() >= 2;
-    const bool canChunk = options_.enableChunking && node.kind == htg::NodeKind::Loop &&
-                          node.doall && node.iterationsPerExec >= 2.0;
-    const Mode modes[] = {{SolutionKind::TaskParallel, canTaskParallel},
-                          {SolutionKind::LoopChunked, canChunk}};
-
-    // Algorithm 1's shrinking processor budget exists to hand the *parent*
-    // level solutions with fewer allocated units to combine; the root node
-    // has no parent, so only the full-budget candidate can ever be chosen.
-    const bool isRoot = id == graph_.root();
-
-    for (const Mode& mode : modes) {
-      if (!mode.enabled) continue;
-      for (ClassId seqPC = 0; seqPC < pf.numClasses(); ++seqPC) {
-        int budget = numCores;
-        while (budget > 1) {
-          SolutionCandidate cand;
-          bool feasible = false;
-          // Pruning bound: something at least as good as the best known
-          // candidate for this class must exist (the sequential candidate
-          // guarantees one).
-          const int bestSoFar = set.bestFor(seqPC);
-          double upperBound = bestSoFar >= 0 ? set.at(bestSoFar).timeSeconds : 0.0;
-          if (mode.kind == SolutionKind::TaskParallel) {
-            IlpRegion region = buildTaskRegion(id, out.table, seqPC, budget);
-            // The greedy all-in-main assignment is always feasible: it
-            // seeds the ILP's upper bound and doubles as a fallback
-            // candidate when the solver hits its limits first.
-            SolutionCandidate greedy = greedyAllInMain(region);
-            if (greedy.timeSeconds > 0 &&
-                (upperBound <= 0 || greedy.timeSeconds * 1.02 < upperBound))
-              upperBound = greedy.timeSeconds * 1.02;
-            region.upperBoundSeconds = upperBound;
-            const IlpParResult r = solveIlpPar(region, solver);
-            out.stats.absorb(r.stats);
-            feasible = r.feasible;
-            if (feasible) cand = decodeTaskParallel(node, region, r);
-            if (greedy.timeSeconds > 0 && greedy.totalProcs() > 1 &&
-                (!feasible || greedy.timeSeconds < cand.timeSeconds))
-              set.add(greedy);
-          } else {
-            ChunkRegion region = buildChunkRegion(id, out.table, seqPC, budget);
-            region.upperBoundSeconds = upperBound;
-            const ChunkResult r = solveChunkIlp(region, solver);
-            out.stats.absorb(r.stats);
-            feasible = r.feasible;
-            if (feasible) cand = decodeChunked(node, r, seqPC);
-          }
-          if (!feasible) break;
-          const int procs = cand.totalProcs();
-          if (procs > 1) set.add(std::move(cand));
-          if (isRoot) break;
-          // Algorithm 1: i <- NUMBEROFTASKS(r) - 1, strictly decreasing.
-          budget = std::min(budget - 1, procs - 1);
-        }
-      }
-    }
-  }
-
-  set.pruneDominated();
-  set.capPerClass(options_.maxCandidatesPerClass);
-  out.table.emplace(id, std::move(set));
-}
-
-SolutionCandidate Parallelizer::greedyAllInMain(const IlpRegion& region) const {
+SolutionCandidate greedyAllInMain(const IlpRegion& region) {
   // Convert the bound-producing assignment into a real candidate: one task
   // (the main one), every child on it with the greedily chosen nested
   // candidate. Always valid, so it doubles as a fallback when the ILP hits
@@ -230,7 +536,7 @@ SolutionCandidate Parallelizer::greedyAllInMain(const IlpRegion& region) const {
   return cand;
 }
 
-double Parallelizer::allInMainBound(const IlpRegion& region) const {
+double allInMainBound(const IlpRegion& region) {
   const SolutionCandidate greedy = greedyAllInMain(region);
   if (greedy.timeSeconds <= 0) return 0.0;
   // Leave a little slack above the heuristic value so the solver has room
@@ -238,8 +544,8 @@ double Parallelizer::allInMainBound(const IlpRegion& region) const {
   return greedy.timeSeconds * 1.02;
 }
 
-IlpRegion Parallelizer::buildTaskRegion(NodeId id, const SolutionTable& table, ClassId seqPC,
-                                        int maxProcs) const {
+IlpRegion Parallelizer::buildTaskRegion(NodeId id, const std::vector<ParallelSet>& sets,
+                                        ClassId seqPC, int maxProcs) const {
   const Node& node = graph_.node(id);
   const platform::Platform& pf = timing_.platform();
   const int C = pf.numClasses();
@@ -265,7 +571,7 @@ IlpRegion Parallelizer::buildTaskRegion(NodeId id, const SolutionTable& table, C
     IlpChild ic;
     ic.label = child.label;
     ic.byClass.resize(static_cast<std::size_t>(C));
-    const ParallelSet& childSet = table.at(childId);
+    const ParallelSet& childSet = sets[static_cast<std::size_t>(childId)];
     for (ClassId c = 0; c < C; ++c) {
       for (int idx : childSet.forClass(c)) {
         const SolutionCandidate& cand = childSet.at(idx);
@@ -302,8 +608,8 @@ IlpRegion Parallelizer::buildTaskRegion(NodeId id, const SolutionTable& table, C
   return region;
 }
 
-ChunkRegion Parallelizer::buildChunkRegion(NodeId id, const SolutionTable& table, ClassId seqPC,
-                                           int maxProcs) const {
+ChunkRegion Parallelizer::buildChunkRegion(NodeId id, const std::vector<ParallelSet>& sets,
+                                           ClassId seqPC, int maxProcs) const {
   const Node& node = graph_.node(id);
   const platform::Platform& pf = timing_.platform();
   const int C = pf.numClasses();
@@ -328,7 +634,7 @@ ChunkRegion Parallelizer::buildChunkRegion(NodeId id, const SolutionTable& table
     for (NodeId childId : node.children) {
       const Node& child = graph_.node(childId);
       const double ratio = node.execCount > 0 ? child.execCount / node.execCount : 0.0;
-      const ParallelSet& childSet = table.at(childId);
+      const ParallelSet& childSet = sets[static_cast<std::size_t>(childId)];
       const int seq = childSet.sequentialFor(c);
       HETPAR_CHECK(seq >= 0);
       bodySeconds += ratio * childSet.at(seq).timeSeconds;

@@ -9,7 +9,18 @@
 // iteration-chunked candidates (the HTG's "loop iteration" granularity
 // level), which is where heterogeneity-aware balancing shines: the ILP
 // hands fast classes proportionally more iterations.
+//
+// The solve engine exploits the algorithm's own structure for tool-side
+// parallelism (see DESIGN.md "Concurrency model"): sibling subtrees are
+// independent, so nodes are scheduled as a bottom-up wavefront, and within a
+// node the per-(mode, seqPC) sweep lanes are independent given the phase's
+// starting bound, so they fan out across a thread pool. Results are merged
+// in the canonical (mode, seqPC, budget) order regardless of completion
+// order, which makes every jobs count produce the identical outcome.
 #pragma once
+
+#include <memory>
+#include <vector>
 
 #include "hetpar/cost/timing.hpp"
 #include "hetpar/htg/graph.hpp"
@@ -18,6 +29,8 @@
 #include "hetpar/parallel/stats.hpp"
 
 namespace hetpar::parallel {
+
+class IlpRegionCache;
 
 struct ParallelizerOptions {
   /// Cap on tasks a single ILPPAR call may open (also bounded by the
@@ -41,6 +54,16 @@ struct ParallelizerOptions {
   /// Menu cap per (node, class): sequential + the fastest others. Keeps the
   /// parent ILPs' p-dimension small.
   int maxCandidatesPerClass = 3;
+  /// Solver worker threads. 1 runs fully sequentially (no pool); values < 1
+  /// resolve to the hardware concurrency. Any value yields the identical
+  /// outcome — only wall-clock time changes.
+  int jobs = 1;
+  /// Memoizes ILP solves across structurally identical regions.
+  bool enableRegionCache = true;
+  /// Optional externally owned cache, shared across Parallelizer runs (e.g.
+  /// the same program planned against several platform views). When null and
+  /// `enableRegionCache` is set, each run uses a private cache.
+  std::shared_ptr<IlpRegionCache> regionCache;
 };
 
 struct ParallelizeOutcome {
@@ -52,6 +75,18 @@ struct ParallelizeOutcome {
   SolutionRef bestRoot(const htg::Graph& g, ClassId mainClass) const;
 };
 
+/// The always-feasible all-in-main assignment for a task region: one task
+/// (the main one), every child on it with the greedily chosen nested
+/// candidate that still fits the processor budget. Seeds the ILP's upper
+/// bound and doubles as a fallback candidate when the solver hits its
+/// limits first. A `timeSeconds` of 0 signals "no valid greedy candidate"
+/// (some child offers no zero-extra-processor option for `region.seqPC`).
+SolutionCandidate greedyAllInMain(const IlpRegion& region);
+
+/// The bound `greedyAllInMain` achieves, with the solver's slack factor
+/// applied; 0 when no greedy candidate exists.
+double allInMainBound(const IlpRegion& region);
+
 class Parallelizer {
  public:
   Parallelizer(const htg::Graph& graph, const cost::TimingModel& timing,
@@ -61,20 +96,49 @@ class Parallelizer {
   ParallelizeOutcome run();
 
  private:
-  void parallelizeNode(htg::NodeId id, ParallelizeOutcome& out);
-  void addSequentialCandidates(htg::NodeId id, const SolutionTable& table, ParallelSet& set);
-  double sequentialSeconds(htg::NodeId id, ClassId c, const SolutionTable& table) const;
+  /// One (mode, seqPC) slice of a node's sweep: the budget loop's appended
+  /// candidates in production order, plus the solve statistics it incurred.
+  struct LaneOutput {
+    std::vector<SolutionCandidate> adds;
+    IlpStatistics stats;
+  };
+  struct RunState;
 
-  IlpRegion buildTaskRegion(htg::NodeId id, const SolutionTable& table, ClassId seqPC,
+  /// Post-order over the subtree reachable from the root (explicit stack;
+  /// depth-proof) and, via `parent`, the traversal tree.
+  std::vector<htg::NodeId> postOrder(std::vector<htg::NodeId>& parent) const;
+
+  /// Modes worth sweeping for `id` ({} when the region is below the
+  /// granularity threshold or not hierarchical).
+  std::vector<SolutionKind> enabledModes(htg::NodeId id,
+                                         const std::vector<ParallelSet>& sets) const;
+
+  /// Runs one sweep lane. `bestStartSeconds` is the fastest known time for
+  /// `seqPC` when the lane's phase began; the lane tightens it with its own
+  /// candidates only (no other lane adds candidates tagged `seqPC`).
+  LaneOutput runLane(htg::NodeId id, SolutionKind kind, ClassId seqPC,
+                     double bestStartSeconds, const std::vector<ParallelSet>& sets,
+                     IlpRegionCache* cache) const;
+
+  void runSequential(const std::vector<htg::NodeId>& order, std::vector<ParallelSet>& sets,
+                     std::vector<IlpStatistics>& nodeStats, IlpRegionCache* cache) const;
+  void runConcurrent(int jobs, const std::vector<htg::NodeId>& order,
+                     const std::vector<htg::NodeId>& parent, std::vector<ParallelSet>& sets,
+                     std::vector<IlpStatistics>& nodeStats, IlpRegionCache* cache) const;
+  void processNode(RunState& rs, htg::NodeId id) const;
+  void startPhase(RunState& rs, htg::NodeId id) const;
+  void completePhase(RunState& rs, htg::NodeId id) const;
+  void finalizeNode(RunState& rs, htg::NodeId id) const;
+
+  void addSequentialCandidates(htg::NodeId id, const std::vector<ParallelSet>& sets,
+                               ParallelSet& set) const;
+  double sequentialSeconds(htg::NodeId id, ClassId c,
+                           const std::vector<ParallelSet>& sets) const;
+
+  IlpRegion buildTaskRegion(htg::NodeId id, const std::vector<ParallelSet>& sets, ClassId seqPC,
                             int maxProcs) const;
-  /// Achievable upper bound: all children on the main task, greedily using
-  /// their fastest seqPC-class candidates within the processor budget.
-  double allInMainBound(const IlpRegion& region) const;
-  /// The assignment realizing that bound, as a full candidate (fallback when
-  /// the ILP exhausts its limits before matching it).
-  SolutionCandidate greedyAllInMain(const IlpRegion& region) const;
-  ChunkRegion buildChunkRegion(htg::NodeId id, const SolutionTable& table, ClassId seqPC,
-                               int maxProcs) const;
+  ChunkRegion buildChunkRegion(htg::NodeId id, const std::vector<ParallelSet>& sets,
+                               ClassId seqPC, int maxProcs) const;
   SolutionCandidate decodeTaskParallel(const htg::Node& node, const IlpRegion& region,
                                        const IlpParResult& r) const;
   SolutionCandidate decodeChunked(const htg::Node& node, const ChunkResult& r,

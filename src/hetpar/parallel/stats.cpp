@@ -5,10 +5,14 @@
 namespace hetpar::parallel {
 
 std::string IlpStatistics::summary() const {
-  return strings::format("%lld ILPs, %s vars, %s constraints, %s bnb nodes, %.2fs",
-                         numIlps, strings::formatThousands(numVars).c_str(),
-                         strings::formatThousands(numConstraints).c_str(),
-                         strings::formatThousands(bnbNodes).c_str(), wallSeconds);
+  std::string text =
+      strings::format("%lld ILPs, %s vars, %s constraints, %s bnb nodes, %.2fs",
+                      numIlps, strings::formatThousands(numVars).c_str(),
+                      strings::formatThousands(numConstraints).c_str(),
+                      strings::formatThousands(bnbNodes).c_str(), wallSeconds);
+  if (cacheHits + cacheMisses > 0)
+    text += strings::format(", %lld cache hits / %lld misses", cacheHits, cacheMisses);
+  return text;
 }
 
 }  // namespace hetpar::parallel

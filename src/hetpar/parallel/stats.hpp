@@ -14,6 +14,11 @@ struct IlpStatistics {
   long long bnbNodes = 0;
   long long simplexIterations = 0;
   double wallSeconds = 0.0;  ///< total solve time
+  /// Region-cache traffic. A hit returns a memoized result without running
+  /// the solver, so hits do NOT count toward numIlps or the solve totals;
+  /// numIlps + cacheHits = regions the parallelizer asked to solve.
+  long long cacheHits = 0;
+  long long cacheMisses = 0;
 
   void absorb(const ilp::SolveStats& s) {
     ++numIlps;
@@ -31,6 +36,8 @@ struct IlpStatistics {
     bnbNodes += other.bnbNodes;
     simplexIterations += other.simplexIterations;
     wallSeconds += other.wallSeconds;
+    cacheHits += other.cacheHits;
+    cacheMisses += other.cacheMisses;
   }
 
   std::string summary() const;

@@ -1,9 +1,9 @@
 // Minimal leveled logger.
 //
 // hetpar libraries log at most at `Debug`/`Info`; tools may raise the level.
-// Logging is process-global and not synchronized across threads beyond the
-// atomicity of the level; hetpar itself is single-threaded by design (the
-// parallelism it produces is in the *target* program, not the tool).
+// The level is an atomic and each line is emitted with a single fprintf, so
+// logging from the solve engine's worker threads is safe (lines never tear,
+// though their interleaving across threads is unspecified).
 #pragma once
 
 #include <sstream>

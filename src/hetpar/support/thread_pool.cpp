@@ -1,0 +1,58 @@
+#include "hetpar/support/thread_pool.hpp"
+
+#include <exception>
+
+#include "hetpar/support/log.hpp"
+
+namespace hetpar::support {
+
+ThreadPool::ThreadPool(int numThreads) {
+  const int n = numThreads < 1 ? 1 : numThreads;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (const std::exception& e) {
+      log::error() << "thread pool task escaped with: " << e.what();
+    } catch (...) {
+      log::error() << "thread pool task escaped with a non-std exception";
+    }
+  }
+}
+
+int ThreadPool::resolveJobs(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace hetpar::support

@@ -1,0 +1,136 @@
+// Unit tests for the greedy all-in-main assignment (the ILP's seed bound
+// and its fallback candidate when the solver exhausts its limits).
+#include <gtest/gtest.h>
+
+#include "hetpar/parallel/parallelizer.hpp"
+
+namespace hetpar::parallel {
+namespace {
+
+IlpCandidate candidate(double seconds, std::vector<int> extraProcs, htg::NodeId node,
+                       int index) {
+  IlpCandidate c;
+  c.timeSeconds = seconds;
+  c.extraProcs = std::move(extraProcs);
+  c.ref = SolutionRef{node, index};
+  return c;
+}
+
+/// Region skeleton: two classes, seqPC = 0, children added by the tests.
+IlpRegion makeRegion(int maxProcs, std::vector<int> numProcsPerClass) {
+  IlpRegion region;
+  region.seqPC = 0;
+  region.maxProcs = maxProcs;
+  region.maxTasks = 2;
+  region.taskCreationSeconds = 1e-5;
+  region.numProcsPerClass = std::move(numProcsPerClass);
+  return region;
+}
+
+void addChild(IlpRegion& region, std::vector<IlpCandidate> class0,
+              std::vector<IlpCandidate> class1 = {}) {
+  IlpChild child;
+  child.byClass.push_back(std::move(class0));
+  child.byClass.push_back(std::move(class1));
+  region.children.push_back(std::move(child));
+}
+
+TEST(GreedyAllInMain, AllSequentialWhenChildrenOfferNothingBetter) {
+  IlpRegion region = makeRegion(/*maxProcs=*/4, {2, 2});
+  addChild(region, {candidate(1.0, {0, 0}, 10, 0)});
+  addChild(region, {candidate(0.5, {0, 0}, 11, 0)});
+
+  const SolutionCandidate greedy = greedyAllInMain(region);
+  EXPECT_DOUBLE_EQ(greedy.timeSeconds, 1.5);
+  EXPECT_EQ(greedy.kind, SolutionKind::TaskParallel);
+  EXPECT_EQ(greedy.mainClass, 0);
+  EXPECT_EQ(greedy.totalProcs(), 1) << "nothing borrowed: main processor only";
+  ASSERT_EQ(greedy.childChoice.size(), 2u);
+  EXPECT_EQ(greedy.childChoice[0].node, 10);
+  EXPECT_EQ(greedy.childChoice[1].node, 11);
+}
+
+TEST(GreedyAllInMain, UpgradesToNestedParallelCandidateThatFits) {
+  IlpRegion region = makeRegion(/*maxProcs=*/4, {2, 2});
+  addChild(region, {candidate(1.0, {0, 0}, 10, 0), candidate(0.4, {1, 0}, 10, 1)});
+
+  const SolutionCandidate greedy = greedyAllInMain(region);
+  EXPECT_DOUBLE_EQ(greedy.timeSeconds, 0.4);
+  EXPECT_EQ(greedy.extraProcs, (std::vector<int>{1, 0}));
+  EXPECT_EQ(greedy.totalProcs(), 2);
+  EXPECT_EQ(greedy.childChoice[0].index, 1) << "the faster nested candidate wins";
+}
+
+TEST(GreedyAllInMain, ZeroTimeSentinelWhenSeqPcHasNoZeroExtraOption) {
+  IlpRegion region = makeRegion(/*maxProcs=*/4, {2, 2});
+  // The child's class-0 menu only offers candidates that borrow processors;
+  // all-in-main needs a zero-extra option to run the child on the main task.
+  addChild(region, {candidate(0.4, {1, 0}, 10, 0), candidate(0.3, {1, 1}, 10, 1)});
+
+  const SolutionCandidate greedy = greedyAllInMain(region);
+  EXPECT_EQ(greedy.timeSeconds, 0.0) << "no valid greedy candidate sentinel";
+  EXPECT_EQ(allInMainBound(region), 0.0) << "sentinel disables the seed bound";
+}
+
+TEST(GreedyAllInMain, ProcessorBudgetOfOneForcesSequentialChoices) {
+  IlpRegion region = makeRegion(/*maxProcs=*/1, {2, 2});
+  addChild(region, {candidate(1.0, {0, 0}, 10, 0), candidate(0.1, {1, 0}, 10, 1)});
+
+  const SolutionCandidate greedy = greedyAllInMain(region);
+  EXPECT_DOUBLE_EQ(greedy.timeSeconds, 1.0) << "upgrade would exceed maxProcs";
+  EXPECT_EQ(greedy.totalProcs(), 1);
+  EXPECT_EQ(greedy.childChoice[0].index, 0);
+}
+
+TEST(GreedyAllInMain, MainTaskOccupiesItsClassProcessor) {
+  // One processor per class and the main task sits on class 0, so an
+  // upgrade borrowing another class-0 processor can never fit.
+  IlpRegion region = makeRegion(/*maxProcs=*/2, {1, 1});
+  addChild(region, {candidate(1.0, {0, 0}, 10, 0), candidate(0.1, {1, 0}, 10, 1)});
+
+  const SolutionCandidate greedy = greedyAllInMain(region);
+  EXPECT_DOUBLE_EQ(greedy.timeSeconds, 1.0);
+  EXPECT_EQ(greedy.childChoice[0].index, 0);
+
+  // A class-1 borrow, in contrast, fits fine.
+  IlpRegion other = makeRegion(/*maxProcs=*/2, {1, 1});
+  addChild(other, {candidate(1.0, {0, 0}, 10, 0), candidate(0.1, {0, 1}, 10, 1)});
+  EXPECT_DOUBLE_EQ(greedyAllInMain(other).timeSeconds, 0.1);
+}
+
+TEST(GreedyAllInMain, SequentialChildrenShareBorrowedProcessors) {
+  // Children run one after another on the main task, so their nested
+  // solutions reuse the same borrowed processors: the footprint is the
+  // per-class MAX, not the sum.
+  IlpRegion region = makeRegion(/*maxProcs=*/2, {2, 2});
+  addChild(region, {candidate(1.0, {0, 0}, 10, 0), candidate(0.4, {1, 0}, 10, 1)});
+  addChild(region, {candidate(1.0, {0, 0}, 11, 0), candidate(0.5, {1, 0}, 11, 1)});
+
+  const SolutionCandidate greedy = greedyAllInMain(region);
+  EXPECT_DOUBLE_EQ(greedy.timeSeconds, 0.9) << "both children upgraded";
+  EXPECT_EQ(greedy.extraProcs, (std::vector<int>{1, 0})) << "shared, not summed";
+  EXPECT_EQ(greedy.totalProcs(), 2);
+}
+
+TEST(GreedyAllInMain, BudgetGoesToTheLargestSaving) {
+  // Budget admits one borrowed processor; the child saving 0.8s must win it
+  // over the child saving 0.1s when their borrows conflict.
+  IlpRegion region = makeRegion(/*maxProcs=*/2, {2, 2});
+  addChild(region, {candidate(1.0, {0, 0}, 10, 0), candidate(0.2, {1, 0}, 10, 1)});
+  addChild(region, {candidate(1.0, {0, 0}, 11, 0), candidate(0.9, {0, 1}, 11, 1)});
+
+  const SolutionCandidate greedy = greedyAllInMain(region);
+  EXPECT_DOUBLE_EQ(greedy.timeSeconds, 0.2 + 1.0);
+  EXPECT_EQ(greedy.extraProcs, (std::vector<int>{1, 0}));
+  EXPECT_EQ(greedy.childChoice[0].index, 1);
+  EXPECT_EQ(greedy.childChoice[1].index, 0) << "smaller saving loses the budget";
+}
+
+TEST(GreedyAllInMain, BoundAppliesSolverSlack) {
+  IlpRegion region = makeRegion(/*maxProcs=*/4, {2, 2});
+  addChild(region, {candidate(2.0, {0, 0}, 10, 0)});
+  EXPECT_DOUBLE_EQ(allInMainBound(region), 2.0 * 1.02);
+}
+
+}  // namespace
+}  // namespace hetpar::parallel

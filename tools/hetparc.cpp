@@ -14,9 +14,12 @@
 //   --baseline              also run the heterogeneity-oblivious baseline [6]
 //   --stats                 print ILP statistics (Table I columns)
 //   --seq-only              stop after HTG extraction (no ILPs)
+//   --jobs <n>              solver threads (0 = all hardware threads;
+//                           default 1; the outcome is identical for any n)
 //
 // Exit codes: 0 success, 1 usage error, 2 input error.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -51,6 +54,7 @@ struct Options {
   bool baseline = false;
   bool stats = false;
   bool seqOnly = false;
+  int jobs = 1;
 };
 
 void usage() {
@@ -58,7 +62,7 @@ void usage() {
                "usage: hetparc [options] <source.c>\n"
                "  --preset A|B  --platform <file>  --main-class <name>\n"
                "  --emit-annotated <f>  --emit-parspec <f>  --emit-premap <f>  --emit-dot <f>\n"
-               "  --simulate  --baseline  --stats  --seq-only\n");
+               "  --simulate  --baseline  --stats  --seq-only  --jobs <n>\n");
 }
 
 bool parseArgs(int argc, char** argv, Options& opts) {
@@ -98,6 +102,14 @@ bool parseArgs(int argc, char** argv, Options& opts) {
       opts.stats = true;
     } else if (arg == "--seq-only") {
       opts.seqOnly = true;
+    } else if (arg == "--jobs") {
+      if ((value = needValue(i)) == nullptr) return false;
+      char* end = nullptr;
+      opts.jobs = static_cast<int>(std::strtol(value, &end, 10));
+      if (end == value || *end != '\0' || opts.jobs < 0) {
+        std::fprintf(stderr, "hetparc: --jobs expects a non-negative integer\n");
+        return false;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "hetparc: unknown option '%s'\n", arg.c_str());
       return false;
@@ -161,7 +173,9 @@ int main(int argc, char** argv) {
     if (opts.seqOnly) return 0;
 
     const cost::TimingModel timing(pf);
-    parallel::Parallelizer tool(bundle.graph, timing);
+    parallel::ParallelizerOptions parOpts;
+    parOpts.jobs = opts.jobs;
+    parallel::Parallelizer tool(bundle.graph, timing, parOpts);
     parallel::ParallelizeOutcome outcome = tool.run();
     if (opts.stats)
       std::printf("heterogeneous ILP statistics: %s\n", outcome.stats.summary().c_str());
@@ -195,7 +209,7 @@ int main(int argc, char** argv) {
 
       if (opts.baseline) {
         parallel::HomogeneousRun homog =
-            parallel::runHomogeneousBaseline(bundle.graph, pf, mainClass);
+            parallel::runHomogeneousBaseline(bundle.graph, pf, mainClass, parOpts);
         if (opts.stats)
           std::printf("homogeneous ILP statistics:   %s\n", homog.outcome.stats.summary().c_str());
         sched::FlattenOptions fo;
