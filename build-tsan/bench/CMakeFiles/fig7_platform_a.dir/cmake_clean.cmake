@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_platform_a.dir/fig7_platform_a.cpp.o"
+  "CMakeFiles/fig7_platform_a.dir/fig7_platform_a.cpp.o.d"
+  "fig7_platform_a"
+  "fig7_platform_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_platform_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_platform_b.dir/fig8_platform_b.cpp.o"
+  "CMakeFiles/fig8_platform_b.dir/fig8_platform_b.cpp.o.d"
+  "fig8_platform_b"
+  "fig8_platform_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_platform_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedup_jobs.dir/speedup_jobs.cpp.o"
+  "CMakeFiles/speedup_jobs.dir/speedup_jobs.cpp.o.d"
+  "speedup_jobs"
+  "speedup_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedup_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ilp_stats.dir/table1_ilp_stats.cpp.o"
+  "CMakeFiles/table1_ilp_stats.dir/table1_ilp_stats.cpp.o.d"
+  "table1_ilp_stats"
+  "table1_ilp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ilp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cross_isa_mapping.cpp" "examples/CMakeFiles/cross_isa_mapping.dir/cross_isa_mapping.cpp.o" "gcc" "examples/CMakeFiles/cross_isa_mapping.dir/cross_isa_mapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_codegen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_sched.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_ilp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_htg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_cost.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_platform.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_ir.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_benchsuite.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_frontend.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

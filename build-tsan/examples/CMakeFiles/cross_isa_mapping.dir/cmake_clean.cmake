@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_isa_mapping.dir/cross_isa_mapping.cpp.o"
+  "CMakeFiles/cross_isa_mapping.dir/cross_isa_mapping.cpp.o.d"
+  "cross_isa_mapping"
+  "cross_isa_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_isa_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_solver_demo.dir/ilp_solver_demo.cpp.o"
+  "CMakeFiles/ilp_solver_demo.dir/ilp_solver_demo.cpp.o.d"
+  "ilp_solver_demo"
+  "ilp_solver_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_solver_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

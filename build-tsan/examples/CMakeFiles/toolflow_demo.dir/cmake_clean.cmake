@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolflow_demo.dir/toolflow_demo.cpp.o"
+  "CMakeFiles/toolflow_demo.dir/toolflow_demo.cpp.o.d"
+  "toolflow_demo"
+  "toolflow_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolflow_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

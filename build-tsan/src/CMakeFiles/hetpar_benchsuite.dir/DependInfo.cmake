@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hetpar/benchsuite/sources.cpp" "src/CMakeFiles/hetpar_benchsuite.dir/hetpar/benchsuite/sources.cpp.o" "gcc" "src/CMakeFiles/hetpar_benchsuite.dir/hetpar/benchsuite/sources.cpp.o.d"
+  "/root/repo/src/hetpar/benchsuite/suite.cpp" "src/CMakeFiles/hetpar_benchsuite.dir/hetpar/benchsuite/suite.cpp.o" "gcc" "src/CMakeFiles/hetpar_benchsuite.dir/hetpar/benchsuite/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_frontend.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpar_benchsuite.dir/hetpar/benchsuite/sources.cpp.o"
+  "CMakeFiles/hetpar_benchsuite.dir/hetpar/benchsuite/sources.cpp.o.d"
+  "CMakeFiles/hetpar_benchsuite.dir/hetpar/benchsuite/suite.cpp.o"
+  "CMakeFiles/hetpar_benchsuite.dir/hetpar/benchsuite/suite.cpp.o.d"
+  "libhetpar_benchsuite.a"
+  "libhetpar_benchsuite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpar_benchsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/CMakeFiles/hetpar_benchsuite.dir/hetpar/benchsuite/sources.cpp.o: \
+ /root/repo/src/hetpar/benchsuite/sources.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/hetpar/benchsuite/sources.hpp

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpar_codegen.dir/hetpar/codegen/annotate.cpp.o"
+  "CMakeFiles/hetpar_codegen.dir/hetpar/codegen/annotate.cpp.o.d"
+  "CMakeFiles/hetpar_codegen.dir/hetpar/codegen/mpa_spec.cpp.o"
+  "CMakeFiles/hetpar_codegen.dir/hetpar/codegen/mpa_spec.cpp.o.d"
+  "CMakeFiles/hetpar_codegen.dir/hetpar/codegen/premap_spec.cpp.o"
+  "CMakeFiles/hetpar_codegen.dir/hetpar/codegen/premap_spec.cpp.o.d"
+  "libhetpar_codegen.a"
+  "libhetpar_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpar_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

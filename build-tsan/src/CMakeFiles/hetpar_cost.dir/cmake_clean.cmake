@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpar_cost.dir/hetpar/cost/interp.cpp.o"
+  "CMakeFiles/hetpar_cost.dir/hetpar/cost/interp.cpp.o.d"
+  "CMakeFiles/hetpar_cost.dir/hetpar/cost/profile.cpp.o"
+  "CMakeFiles/hetpar_cost.dir/hetpar/cost/profile.cpp.o.d"
+  "CMakeFiles/hetpar_cost.dir/hetpar/cost/timing.cpp.o"
+  "CMakeFiles/hetpar_cost.dir/hetpar/cost/timing.cpp.o.d"
+  "libhetpar_cost.a"
+  "libhetpar_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpar_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hetpar/frontend/ast.cpp" "src/CMakeFiles/hetpar_frontend.dir/hetpar/frontend/ast.cpp.o" "gcc" "src/CMakeFiles/hetpar_frontend.dir/hetpar/frontend/ast.cpp.o.d"
+  "/root/repo/src/hetpar/frontend/lexer.cpp" "src/CMakeFiles/hetpar_frontend.dir/hetpar/frontend/lexer.cpp.o" "gcc" "src/CMakeFiles/hetpar_frontend.dir/hetpar/frontend/lexer.cpp.o.d"
+  "/root/repo/src/hetpar/frontend/parser.cpp" "src/CMakeFiles/hetpar_frontend.dir/hetpar/frontend/parser.cpp.o" "gcc" "src/CMakeFiles/hetpar_frontend.dir/hetpar/frontend/parser.cpp.o.d"
+  "/root/repo/src/hetpar/frontend/printer.cpp" "src/CMakeFiles/hetpar_frontend.dir/hetpar/frontend/printer.cpp.o" "gcc" "src/CMakeFiles/hetpar_frontend.dir/hetpar/frontend/printer.cpp.o.d"
+  "/root/repo/src/hetpar/frontend/sema.cpp" "src/CMakeFiles/hetpar_frontend.dir/hetpar/frontend/sema.cpp.o" "gcc" "src/CMakeFiles/hetpar_frontend.dir/hetpar/frontend/sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpar_frontend.dir/hetpar/frontend/ast.cpp.o"
+  "CMakeFiles/hetpar_frontend.dir/hetpar/frontend/ast.cpp.o.d"
+  "CMakeFiles/hetpar_frontend.dir/hetpar/frontend/lexer.cpp.o"
+  "CMakeFiles/hetpar_frontend.dir/hetpar/frontend/lexer.cpp.o.d"
+  "CMakeFiles/hetpar_frontend.dir/hetpar/frontend/parser.cpp.o"
+  "CMakeFiles/hetpar_frontend.dir/hetpar/frontend/parser.cpp.o.d"
+  "CMakeFiles/hetpar_frontend.dir/hetpar/frontend/printer.cpp.o"
+  "CMakeFiles/hetpar_frontend.dir/hetpar/frontend/printer.cpp.o.d"
+  "CMakeFiles/hetpar_frontend.dir/hetpar/frontend/sema.cpp.o"
+  "CMakeFiles/hetpar_frontend.dir/hetpar/frontend/sema.cpp.o.d"
+  "libhetpar_frontend.a"
+  "libhetpar_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpar_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hetpar/htg/builder.cpp" "src/CMakeFiles/hetpar_htg.dir/hetpar/htg/builder.cpp.o" "gcc" "src/CMakeFiles/hetpar_htg.dir/hetpar/htg/builder.cpp.o.d"
+  "/root/repo/src/hetpar/htg/dot.cpp" "src/CMakeFiles/hetpar_htg.dir/hetpar/htg/dot.cpp.o" "gcc" "src/CMakeFiles/hetpar_htg.dir/hetpar/htg/dot.cpp.o.d"
+  "/root/repo/src/hetpar/htg/graph.cpp" "src/CMakeFiles/hetpar_htg.dir/hetpar/htg/graph.cpp.o" "gcc" "src/CMakeFiles/hetpar_htg.dir/hetpar/htg/graph.cpp.o.d"
+  "/root/repo/src/hetpar/htg/validate.cpp" "src/CMakeFiles/hetpar_htg.dir/hetpar/htg/validate.cpp.o" "gcc" "src/CMakeFiles/hetpar_htg.dir/hetpar/htg/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_cost.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_ir.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_frontend.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_platform.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpar_htg.dir/hetpar/htg/builder.cpp.o"
+  "CMakeFiles/hetpar_htg.dir/hetpar/htg/builder.cpp.o.d"
+  "CMakeFiles/hetpar_htg.dir/hetpar/htg/dot.cpp.o"
+  "CMakeFiles/hetpar_htg.dir/hetpar/htg/dot.cpp.o.d"
+  "CMakeFiles/hetpar_htg.dir/hetpar/htg/graph.cpp.o"
+  "CMakeFiles/hetpar_htg.dir/hetpar/htg/graph.cpp.o.d"
+  "CMakeFiles/hetpar_htg.dir/hetpar/htg/validate.cpp.o"
+  "CMakeFiles/hetpar_htg.dir/hetpar/htg/validate.cpp.o.d"
+  "libhetpar_htg.a"
+  "libhetpar_htg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpar_htg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

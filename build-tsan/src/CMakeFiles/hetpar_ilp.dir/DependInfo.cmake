@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hetpar/ilp/branch_and_bound.cpp" "src/CMakeFiles/hetpar_ilp.dir/hetpar/ilp/branch_and_bound.cpp.o" "gcc" "src/CMakeFiles/hetpar_ilp.dir/hetpar/ilp/branch_and_bound.cpp.o.d"
+  "/root/repo/src/hetpar/ilp/expr.cpp" "src/CMakeFiles/hetpar_ilp.dir/hetpar/ilp/expr.cpp.o" "gcc" "src/CMakeFiles/hetpar_ilp.dir/hetpar/ilp/expr.cpp.o.d"
+  "/root/repo/src/hetpar/ilp/model.cpp" "src/CMakeFiles/hetpar_ilp.dir/hetpar/ilp/model.cpp.o" "gcc" "src/CMakeFiles/hetpar_ilp.dir/hetpar/ilp/model.cpp.o.d"
+  "/root/repo/src/hetpar/ilp/simplex.cpp" "src/CMakeFiles/hetpar_ilp.dir/hetpar/ilp/simplex.cpp.o" "gcc" "src/CMakeFiles/hetpar_ilp.dir/hetpar/ilp/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

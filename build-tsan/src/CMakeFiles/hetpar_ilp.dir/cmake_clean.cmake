@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpar_ilp.dir/hetpar/ilp/branch_and_bound.cpp.o"
+  "CMakeFiles/hetpar_ilp.dir/hetpar/ilp/branch_and_bound.cpp.o.d"
+  "CMakeFiles/hetpar_ilp.dir/hetpar/ilp/expr.cpp.o"
+  "CMakeFiles/hetpar_ilp.dir/hetpar/ilp/expr.cpp.o.d"
+  "CMakeFiles/hetpar_ilp.dir/hetpar/ilp/model.cpp.o"
+  "CMakeFiles/hetpar_ilp.dir/hetpar/ilp/model.cpp.o.d"
+  "CMakeFiles/hetpar_ilp.dir/hetpar/ilp/simplex.cpp.o"
+  "CMakeFiles/hetpar_ilp.dir/hetpar/ilp/simplex.cpp.o.d"
+  "libhetpar_ilp.a"
+  "libhetpar_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpar_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpar_ir.dir/hetpar/ir/defuse.cpp.o"
+  "CMakeFiles/hetpar_ir.dir/hetpar/ir/defuse.cpp.o.d"
+  "CMakeFiles/hetpar_ir.dir/hetpar/ir/dependence.cpp.o"
+  "CMakeFiles/hetpar_ir.dir/hetpar/ir/dependence.cpp.o.d"
+  "CMakeFiles/hetpar_ir.dir/hetpar/ir/looppar.cpp.o"
+  "CMakeFiles/hetpar_ir.dir/hetpar/ir/looppar.cpp.o.d"
+  "CMakeFiles/hetpar_ir.dir/hetpar/ir/tripcount.cpp.o"
+  "CMakeFiles/hetpar_ir.dir/hetpar/ir/tripcount.cpp.o.d"
+  "libhetpar_ir.a"
+  "libhetpar_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpar_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhetpar_ir.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hetpar/parallel/genetic.cpp" "src/CMakeFiles/hetpar_parallel.dir/hetpar/parallel/genetic.cpp.o" "gcc" "src/CMakeFiles/hetpar_parallel.dir/hetpar/parallel/genetic.cpp.o.d"
+  "/root/repo/src/hetpar/parallel/homogeneous.cpp" "src/CMakeFiles/hetpar_parallel.dir/hetpar/parallel/homogeneous.cpp.o" "gcc" "src/CMakeFiles/hetpar_parallel.dir/hetpar/parallel/homogeneous.cpp.o.d"
+  "/root/repo/src/hetpar/parallel/ilppar_model.cpp" "src/CMakeFiles/hetpar_parallel.dir/hetpar/parallel/ilppar_model.cpp.o" "gcc" "src/CMakeFiles/hetpar_parallel.dir/hetpar/parallel/ilppar_model.cpp.o.d"
+  "/root/repo/src/hetpar/parallel/parallelizer.cpp" "src/CMakeFiles/hetpar_parallel.dir/hetpar/parallel/parallelizer.cpp.o" "gcc" "src/CMakeFiles/hetpar_parallel.dir/hetpar/parallel/parallelizer.cpp.o.d"
+  "/root/repo/src/hetpar/parallel/region_cache.cpp" "src/CMakeFiles/hetpar_parallel.dir/hetpar/parallel/region_cache.cpp.o" "gcc" "src/CMakeFiles/hetpar_parallel.dir/hetpar/parallel/region_cache.cpp.o.d"
+  "/root/repo/src/hetpar/parallel/solution.cpp" "src/CMakeFiles/hetpar_parallel.dir/hetpar/parallel/solution.cpp.o" "gcc" "src/CMakeFiles/hetpar_parallel.dir/hetpar/parallel/solution.cpp.o.d"
+  "/root/repo/src/hetpar/parallel/stats.cpp" "src/CMakeFiles/hetpar_parallel.dir/hetpar/parallel/stats.cpp.o" "gcc" "src/CMakeFiles/hetpar_parallel.dir/hetpar/parallel/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_htg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_ilp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_cost.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_ir.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_frontend.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_platform.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpar_parallel.dir/hetpar/parallel/genetic.cpp.o"
+  "CMakeFiles/hetpar_parallel.dir/hetpar/parallel/genetic.cpp.o.d"
+  "CMakeFiles/hetpar_parallel.dir/hetpar/parallel/homogeneous.cpp.o"
+  "CMakeFiles/hetpar_parallel.dir/hetpar/parallel/homogeneous.cpp.o.d"
+  "CMakeFiles/hetpar_parallel.dir/hetpar/parallel/ilppar_model.cpp.o"
+  "CMakeFiles/hetpar_parallel.dir/hetpar/parallel/ilppar_model.cpp.o.d"
+  "CMakeFiles/hetpar_parallel.dir/hetpar/parallel/parallelizer.cpp.o"
+  "CMakeFiles/hetpar_parallel.dir/hetpar/parallel/parallelizer.cpp.o.d"
+  "CMakeFiles/hetpar_parallel.dir/hetpar/parallel/region_cache.cpp.o"
+  "CMakeFiles/hetpar_parallel.dir/hetpar/parallel/region_cache.cpp.o.d"
+  "CMakeFiles/hetpar_parallel.dir/hetpar/parallel/solution.cpp.o"
+  "CMakeFiles/hetpar_parallel.dir/hetpar/parallel/solution.cpp.o.d"
+  "CMakeFiles/hetpar_parallel.dir/hetpar/parallel/stats.cpp.o"
+  "CMakeFiles/hetpar_parallel.dir/hetpar/parallel/stats.cpp.o.d"
+  "libhetpar_parallel.a"
+  "libhetpar_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpar_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hetpar/platform/parser.cpp" "src/CMakeFiles/hetpar_platform.dir/hetpar/platform/parser.cpp.o" "gcc" "src/CMakeFiles/hetpar_platform.dir/hetpar/platform/parser.cpp.o.d"
+  "/root/repo/src/hetpar/platform/platform.cpp" "src/CMakeFiles/hetpar_platform.dir/hetpar/platform/platform.cpp.o" "gcc" "src/CMakeFiles/hetpar_platform.dir/hetpar/platform/platform.cpp.o.d"
+  "/root/repo/src/hetpar/platform/presets.cpp" "src/CMakeFiles/hetpar_platform.dir/hetpar/platform/presets.cpp.o" "gcc" "src/CMakeFiles/hetpar_platform.dir/hetpar/platform/presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/hetpar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

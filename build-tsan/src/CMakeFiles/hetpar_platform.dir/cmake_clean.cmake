@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpar_platform.dir/hetpar/platform/parser.cpp.o"
+  "CMakeFiles/hetpar_platform.dir/hetpar/platform/parser.cpp.o.d"
+  "CMakeFiles/hetpar_platform.dir/hetpar/platform/platform.cpp.o"
+  "CMakeFiles/hetpar_platform.dir/hetpar/platform/platform.cpp.o.d"
+  "CMakeFiles/hetpar_platform.dir/hetpar/platform/presets.cpp.o"
+  "CMakeFiles/hetpar_platform.dir/hetpar/platform/presets.cpp.o.d"
+  "libhetpar_platform.a"
+  "libhetpar_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpar_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

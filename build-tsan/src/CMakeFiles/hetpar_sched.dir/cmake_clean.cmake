@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpar_sched.dir/hetpar/sched/flatten.cpp.o"
+  "CMakeFiles/hetpar_sched.dir/hetpar/sched/flatten.cpp.o.d"
+  "CMakeFiles/hetpar_sched.dir/hetpar/sched/taskgraph.cpp.o"
+  "CMakeFiles/hetpar_sched.dir/hetpar/sched/taskgraph.cpp.o.d"
+  "libhetpar_sched.a"
+  "libhetpar_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpar_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

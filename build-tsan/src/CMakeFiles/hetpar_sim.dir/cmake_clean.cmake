@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpar_sim.dir/hetpar/sim/energy.cpp.o"
+  "CMakeFiles/hetpar_sim.dir/hetpar/sim/energy.cpp.o.d"
+  "CMakeFiles/hetpar_sim.dir/hetpar/sim/engine.cpp.o"
+  "CMakeFiles/hetpar_sim.dir/hetpar/sim/engine.cpp.o.d"
+  "CMakeFiles/hetpar_sim.dir/hetpar/sim/measure.cpp.o"
+  "CMakeFiles/hetpar_sim.dir/hetpar/sim/measure.cpp.o.d"
+  "CMakeFiles/hetpar_sim.dir/hetpar/sim/mpsoc.cpp.o"
+  "CMakeFiles/hetpar_sim.dir/hetpar/sim/mpsoc.cpp.o.d"
+  "libhetpar_sim.a"
+  "libhetpar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpar_support.dir/hetpar/support/log.cpp.o"
+  "CMakeFiles/hetpar_support.dir/hetpar/support/log.cpp.o.d"
+  "CMakeFiles/hetpar_support.dir/hetpar/support/strings.cpp.o"
+  "CMakeFiles/hetpar_support.dir/hetpar/support/strings.cpp.o.d"
+  "CMakeFiles/hetpar_support.dir/hetpar/support/thread_pool.cpp.o"
+  "CMakeFiles/hetpar_support.dir/hetpar/support/thread_pool.cpp.o.d"
+  "libhetpar_support.a"
+  "libhetpar_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpar_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

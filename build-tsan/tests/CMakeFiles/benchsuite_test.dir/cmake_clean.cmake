@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchsuite_test.dir/benchsuite/suite_test.cpp.o"
+  "CMakeFiles/benchsuite_test.dir/benchsuite/suite_test.cpp.o.d"
+  "benchsuite_test"
+  "benchsuite_test.pdb"
+  "benchsuite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchsuite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

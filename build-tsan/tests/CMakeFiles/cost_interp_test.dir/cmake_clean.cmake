@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_interp_test.dir/cost/interp_test.cpp.o"
+  "CMakeFiles/cost_interp_test.dir/cost/interp_test.cpp.o.d"
+  "cost_interp_test"
+  "cost_interp_test.pdb"
+  "cost_interp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

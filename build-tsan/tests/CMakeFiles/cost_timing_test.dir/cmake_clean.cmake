@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_timing_test.dir/cost/timing_test.cpp.o"
+  "CMakeFiles/cost_timing_test.dir/cost/timing_test.cpp.o.d"
+  "cost_timing_test"
+  "cost_timing_test.pdb"
+  "cost_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

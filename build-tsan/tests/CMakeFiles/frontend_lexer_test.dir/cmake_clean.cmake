@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_lexer_test.dir/frontend/lexer_test.cpp.o"
+  "CMakeFiles/frontend_lexer_test.dir/frontend/lexer_test.cpp.o.d"
+  "frontend_lexer_test"
+  "frontend_lexer_test.pdb"
+  "frontend_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

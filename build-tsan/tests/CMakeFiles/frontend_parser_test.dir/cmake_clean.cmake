@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_parser_test.dir/frontend/parser_test.cpp.o"
+  "CMakeFiles/frontend_parser_test.dir/frontend/parser_test.cpp.o.d"
+  "frontend_parser_test"
+  "frontend_parser_test.pdb"
+  "frontend_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_printer_test.dir/frontend/printer_test.cpp.o"
+  "CMakeFiles/frontend_printer_test.dir/frontend/printer_test.cpp.o.d"
+  "frontend_printer_test"
+  "frontend_printer_test.pdb"
+  "frontend_printer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

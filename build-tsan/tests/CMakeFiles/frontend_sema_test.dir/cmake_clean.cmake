@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_sema_test.dir/frontend/sema_test.cpp.o"
+  "CMakeFiles/frontend_sema_test.dir/frontend/sema_test.cpp.o.d"
+  "frontend_sema_test"
+  "frontend_sema_test.pdb"
+  "frontend_sema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_sema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

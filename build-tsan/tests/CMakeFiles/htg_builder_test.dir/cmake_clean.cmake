@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htg_builder_test.dir/htg/builder_test.cpp.o"
+  "CMakeFiles/htg_builder_test.dir/htg/builder_test.cpp.o.d"
+  "htg_builder_test"
+  "htg_builder_test.pdb"
+  "htg_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htg_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htg_validate_test.dir/htg/validate_test.cpp.o"
+  "CMakeFiles/htg_validate_test.dir/htg/validate_test.cpp.o.d"
+  "htg_validate_test"
+  "htg_validate_test.pdb"
+  "htg_validate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htg_validate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_bnb_test.dir/ilp/bnb_test.cpp.o"
+  "CMakeFiles/ilp_bnb_test.dir/ilp/bnb_test.cpp.o.d"
+  "ilp_bnb_test"
+  "ilp_bnb_test.pdb"
+  "ilp_bnb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_bnb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

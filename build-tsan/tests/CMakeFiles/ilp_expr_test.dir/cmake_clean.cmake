@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_expr_test.dir/ilp/expr_test.cpp.o"
+  "CMakeFiles/ilp_expr_test.dir/ilp/expr_test.cpp.o.d"
+  "ilp_expr_test"
+  "ilp_expr_test.pdb"
+  "ilp_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_property_test.dir/ilp/property_test.cpp.o"
+  "CMakeFiles/ilp_property_test.dir/ilp/property_test.cpp.o.d"
+  "ilp_property_test"
+  "ilp_property_test.pdb"
+  "ilp_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

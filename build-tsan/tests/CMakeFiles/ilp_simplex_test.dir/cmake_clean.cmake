@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_simplex_test.dir/ilp/simplex_test.cpp.o"
+  "CMakeFiles/ilp_simplex_test.dir/ilp/simplex_test.cpp.o.d"
+  "ilp_simplex_test"
+  "ilp_simplex_test.pdb"
+  "ilp_simplex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_simplex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

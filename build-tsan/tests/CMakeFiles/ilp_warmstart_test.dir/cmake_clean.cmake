@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_warmstart_test.dir/ilp/warmstart_test.cpp.o"
+  "CMakeFiles/ilp_warmstart_test.dir/ilp/warmstart_test.cpp.o.d"
+  "ilp_warmstart_test"
+  "ilp_warmstart_test.pdb"
+  "ilp_warmstart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_warmstart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_cross_isa_test.dir/integration/cross_isa_test.cpp.o"
+  "CMakeFiles/integration_cross_isa_test.dir/integration/cross_isa_test.cpp.o.d"
+  "integration_cross_isa_test"
+  "integration_cross_isa_test.pdb"
+  "integration_cross_isa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_cross_isa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

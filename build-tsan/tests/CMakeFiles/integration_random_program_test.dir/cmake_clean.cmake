@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_random_program_test.dir/integration/random_program_test.cpp.o"
+  "CMakeFiles/integration_random_program_test.dir/integration/random_program_test.cpp.o.d"
+  "integration_random_program_test"
+  "integration_random_program_test.pdb"
+  "integration_random_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_random_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

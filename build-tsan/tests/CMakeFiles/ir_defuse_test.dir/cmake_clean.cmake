@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_defuse_test.dir/ir/defuse_test.cpp.o"
+  "CMakeFiles/ir_defuse_test.dir/ir/defuse_test.cpp.o.d"
+  "ir_defuse_test"
+  "ir_defuse_test.pdb"
+  "ir_defuse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_defuse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_dependence_test.dir/ir/dependence_test.cpp.o"
+  "CMakeFiles/ir_dependence_test.dir/ir/dependence_test.cpp.o.d"
+  "ir_dependence_test"
+  "ir_dependence_test.pdb"
+  "ir_dependence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_dependence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_looppar_test.dir/ir/looppar_test.cpp.o"
+  "CMakeFiles/ir_looppar_test.dir/ir/looppar_test.cpp.o.d"
+  "ir_looppar_test"
+  "ir_looppar_test.pdb"
+  "ir_looppar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_looppar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_tripcount_test.dir/ir/tripcount_test.cpp.o"
+  "CMakeFiles/ir_tripcount_test.dir/ir/tripcount_test.cpp.o.d"
+  "ir_tripcount_test"
+  "ir_tripcount_test.pdb"
+  "ir_tripcount_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_tripcount_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_chunkilp_test.dir/parallel/chunkilp_test.cpp.o"
+  "CMakeFiles/parallel_chunkilp_test.dir/parallel/chunkilp_test.cpp.o.d"
+  "parallel_chunkilp_test"
+  "parallel_chunkilp_test.pdb"
+  "parallel_chunkilp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_chunkilp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_genetic_test.dir/parallel/genetic_test.cpp.o"
+  "CMakeFiles/parallel_genetic_test.dir/parallel/genetic_test.cpp.o.d"
+  "parallel_genetic_test"
+  "parallel_genetic_test.pdb"
+  "parallel_genetic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_genetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

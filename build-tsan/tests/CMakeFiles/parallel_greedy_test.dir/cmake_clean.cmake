@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_greedy_test.dir/parallel/greedy_test.cpp.o"
+  "CMakeFiles/parallel_greedy_test.dir/parallel/greedy_test.cpp.o.d"
+  "parallel_greedy_test"
+  "parallel_greedy_test.pdb"
+  "parallel_greedy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_greedy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_ilppar_test.dir/parallel/ilppar_test.cpp.o"
+  "CMakeFiles/parallel_ilppar_test.dir/parallel/ilppar_test.cpp.o.d"
+  "parallel_ilppar_test"
+  "parallel_ilppar_test.pdb"
+  "parallel_ilppar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_ilppar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_jobs_test.dir/parallel/parallelizer_jobs_test.cpp.o"
+  "CMakeFiles/parallel_jobs_test.dir/parallel/parallelizer_jobs_test.cpp.o.d"
+  "parallel_jobs_test"
+  "parallel_jobs_test.pdb"
+  "parallel_jobs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_jobs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

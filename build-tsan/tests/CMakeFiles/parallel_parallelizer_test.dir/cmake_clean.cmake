@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_parallelizer_test.dir/parallel/parallelizer_test.cpp.o"
+  "CMakeFiles/parallel_parallelizer_test.dir/parallel/parallelizer_test.cpp.o.d"
+  "parallel_parallelizer_test"
+  "parallel_parallelizer_test.pdb"
+  "parallel_parallelizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_parallelizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_solution_test.dir/parallel/solution_test.cpp.o"
+  "CMakeFiles/parallel_solution_test.dir/parallel/solution_test.cpp.o.d"
+  "parallel_solution_test"
+  "parallel_solution_test.pdb"
+  "parallel_solution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_solution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

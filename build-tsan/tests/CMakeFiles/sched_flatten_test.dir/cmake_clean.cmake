@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_flatten_test.dir/sched/flatten_test.cpp.o"
+  "CMakeFiles/sched_flatten_test.dir/sched/flatten_test.cpp.o.d"
+  "sched_flatten_test"
+  "sched_flatten_test.pdb"
+  "sched_flatten_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_flatten_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_taskgraph_test.dir/sched/taskgraph_test.cpp.o"
+  "CMakeFiles/sched_taskgraph_test.dir/sched/taskgraph_test.cpp.o.d"
+  "sched_taskgraph_test"
+  "sched_taskgraph_test.pdb"
+  "sched_taskgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_taskgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_energy_test.dir/sim/energy_test.cpp.o"
+  "CMakeFiles/sim_energy_test.dir/sim/energy_test.cpp.o.d"
+  "sim_energy_test"
+  "sim_energy_test.pdb"
+  "sim_energy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_energy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

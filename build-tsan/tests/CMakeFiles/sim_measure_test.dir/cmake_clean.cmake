@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_measure_test.dir/sim/measure_test.cpp.o"
+  "CMakeFiles/sim_measure_test.dir/sim/measure_test.cpp.o.d"
+  "sim_measure_test"
+  "sim_measure_test.pdb"
+  "sim_measure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_measure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_mpsoc_test.dir/sim/mpsoc_test.cpp.o"
+  "CMakeFiles/sim_mpsoc_test.dir/sim/mpsoc_test.cpp.o.d"
+  "sim_mpsoc_test"
+  "sim_mpsoc_test.pdb"
+  "sim_mpsoc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_mpsoc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetparc.dir/hetparc.cpp.o"
+  "CMakeFiles/hetparc.dir/hetparc.cpp.o.d"
+  "hetparc"
+  "hetparc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetparc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
