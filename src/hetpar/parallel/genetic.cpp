@@ -26,7 +26,9 @@ class Ga {
       : region_(region), options_(options), rng_(options.seed) {
     N_ = static_cast<int>(region.children.size());
     C_ = static_cast<int>(region.numProcsPerClass.size());
-    T_ = std::max(1, std::min(region.maxTasks, N_));
+    // N_ + 1 slots, same as the ILP model: the pinned main task may stay
+    // idle with every child on an extracted task of a faster class.
+    T_ = std::max(1, std::min(region.maxTasks, N_ + 1));
   }
 
   IlpParResult run() {

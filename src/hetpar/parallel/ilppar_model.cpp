@@ -24,7 +24,11 @@ constexpr double kScale = 1e6;
 Model buildIlpParModel(const IlpRegion& region, IlpParVars& vars) {
   const int N = static_cast<int>(region.children.size());
   const int C = static_cast<int>(region.numProcsPerClass.size());
-  const int T = std::max(1, std::min(region.maxTasks, N));
+  // One slot per child PLUS the main task: the main task is pinned to seqPC,
+  // so the optimum may leave it idle and host every child on extracted tasks
+  // of a faster class. Capping at N (instead of N + 1) silently cut those
+  // assignments off — found by the exhaustive oracle in hetpar/verify.
+  const int T = std::max(1, std::min(region.maxTasks, N + 1));
   require<SolverError>(N > 0, "ILPPAR needs at least one child");
   require<SolverError>(region.seqPC >= 0 && region.seqPC < C, "bad seqPC");
 

@@ -77,6 +77,9 @@ class ParallelSet {
 
   const std::vector<SolutionCandidate>& all() const { return all_; }
   const SolutionCandidate& at(int index) const { return all_.at(static_cast<std::size_t>(index)); }
+  /// Mutable access, used by the verification harness to inject defects and
+  /// prove the invariant checker catches them.
+  SolutionCandidate& at(int index) { return all_.at(static_cast<std::size_t>(index)); }
   std::size_t size() const { return all_.size(); }
 
   /// Indices of candidates tagged with main class `c`.

@@ -1,0 +1,77 @@
+// Random fuzz-input generators: valid-by-construction mini-C programs and
+// randomized (but always structurally valid) platform descriptions.
+//
+// Promoted out of tests/integration/random_program_test.cpp so the property
+// tests, the differential fuzzer (tools/hetpar-fuzz) and the benches all
+// share ONE generator: a bug class reproduced by the fuzzer is replayable
+// byte-for-byte in a unit test from nothing but its seed.
+//
+// Programs are kept as a list of independent top-level statement chunks
+// plus a fixed prologue/epilogue. Every chunk is self-contained (fresh
+// local names, array accesses bounded by construction), so ANY subset of
+// chunks renders to another valid program — the property the delta-debugging
+// shrinker (hetpar/verify/reduce.hpp) relies on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hetpar/platform/platform.hpp"
+
+namespace hetpar::verify {
+
+struct GeneratorOptions {
+  /// Extent of the global arrays and trip count of the element-wise loops.
+  /// Must be >= 8 (the while-countdown chunk indexes up to 6). Larger values
+  /// push regions past the parallelizer's granularity threshold, which is
+  /// what the fuzzer wants; the seed tests keep the historical 32.
+  int arraySize = 32;
+  /// Number of random top-level statement chunks in main().
+  int minStatements = 2;
+  int maxStatements = 6;
+  /// Nesting depth budget for generated statements.
+  int maxDepth = 4;
+};
+
+/// A generated program, decomposed for shrinking.
+struct GeneratedProgram {
+  GeneratorOptions options;
+  std::uint64_t seed = 0;
+  /// Independent top-level chunks of main()'s body (each possibly several
+  /// lines). Removing any subset leaves a valid program.
+  std::vector<std::string> statements;
+
+  /// Renders the full program: prologue, the chunks, checksum epilogue.
+  std::string render() const;
+
+  /// Copy with a different chunk subset (used by the shrinker).
+  GeneratedProgram withStatements(std::vector<std::string> subset) const;
+};
+
+/// Deterministically generates a random structured program: global arrays,
+/// nested loops, ifs, reductions and helper-function calls. All indices stay
+/// in bounds and all loops terminate by construction.
+GeneratedProgram generateProgram(std::uint64_t seed, const GeneratorOptions& options = {});
+
+struct PlatformGeneratorOptions {
+  int minClasses = 1;
+  int maxClasses = 3;
+  int minCountPerClass = 1;
+  int maxCountPerClass = 3;
+  double minFrequencyMHz = 100.0;
+  double maxFrequencyMHz = 1000.0;
+  /// Default TCO range is low enough that mid-size generated loops clear
+  /// the granularity threshold — otherwise every fuzz case degenerates to
+  /// sequential-only solutions and the relations check nothing.
+  double minTcoMicros = 1.0;
+  double maxTcoMicros = 10.0;
+};
+
+/// Deterministically generates a random valid heterogeneous platform
+/// (classes, counts, frequencies, bus, TCO). `Platform::validate()` holds
+/// for every seed.
+platform::Platform generatePlatform(std::uint64_t seed,
+                                    const PlatformGeneratorOptions& options = {});
+
+}  // namespace hetpar::verify

@@ -1,0 +1,385 @@
+#include "hetpar/verify/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "hetpar/ir/dependence.hpp"
+#include "hetpar/support/strings.hpp"
+
+namespace hetpar::verify {
+
+using htg::Node;
+using htg::NodeId;
+using parallel::ParallelSet;
+using parallel::SolutionCandidate;
+using parallel::SolutionKind;
+using parallel::SolutionTable;
+using platform::ClassId;
+
+namespace {
+
+bool closeEnough(double a, double b, const InvariantOptions& opts) {
+  const double diff = std::abs(a - b);
+  return diff <= opts.relTol * std::max(std::abs(a), std::abs(b)) + opts.absTolSeconds;
+}
+
+/// Collects problems for one candidate. All checks run even after the first
+/// failure so a report names every violated invariant at once.
+class CandidateChecker {
+ public:
+  CandidateChecker(const htg::Graph& graph, const cost::TimingModel& timing,
+                   const SolutionTable& table, const InvariantOptions& options)
+      : graph_(graph), timing_(timing), table_(table), options_(options) {}
+
+  std::vector<std::string> check(NodeId id, int index) {
+    problems_.clear();
+    const ParallelSet* set = findSet(id);
+    if (set == nullptr) return std::move(problems_);
+    if (index < 0 || index >= static_cast<int>(set->size())) {
+      fail("candidate index %d out of range (set has %zu)", index, set->size());
+      return std::move(problems_);
+    }
+    const SolutionCandidate& cand = set->at(index);
+    const int C = timing_.platform().numClasses();
+
+    if (cand.mainClass < 0 || cand.mainClass >= C)
+      fail("main class %d outside [0, %d)", cand.mainClass, C);
+    if (!(cand.timeSeconds >= 0.0) || !std::isfinite(cand.timeSeconds))
+      fail("claimed time %.17g is not a finite non-negative number", cand.timeSeconds);
+    if (static_cast<int>(cand.extraProcs.size()) != C)
+      fail("extraProcs has %zu entries, platform has %d classes", cand.extraProcs.size(), C);
+    if (cand.taskClass.empty())
+      fail("candidate opens no tasks at all");
+    else if (cand.taskClass[0] != cand.mainClass)
+      fail("main task mapped to class %d but candidate is tagged class %d",
+           cand.taskClass[0], cand.mainClass);
+    for (ClassId c : cand.taskClass)
+      if (c < 0 || c >= C) fail("task mapped to nonexistent class %d", c);
+    if (problems_.empty()) {
+      checkBudgets(cand);
+      switch (cand.kind) {
+        case SolutionKind::Sequential: checkSequential(id, cand); break;
+        case SolutionKind::TaskParallel: checkTaskParallel(id, cand); break;
+        case SolutionKind::LoopChunked: checkChunked(id, cand); break;
+      }
+    }
+    return std::move(problems_);
+  }
+
+ private:
+  template <typename... Args>
+  void fail(const char* fmt, Args... args) {
+    problems_.push_back(strings::format(fmt, args...));
+  }
+
+  const ParallelSet* findSet(NodeId id) {
+    auto it = table_.find(id);
+    if (it == table_.end()) {
+      fail("node %d has no parallel set", id);
+      return nullptr;
+    }
+    return &it->second;
+  }
+
+  /// Per-class allocation must fit the platform: the main task's own unit
+  /// plus everything `extraProcs` accounts for.
+  void checkBudgets(const SolutionCandidate& cand) {
+    const platform::Platform& pf = timing_.platform();
+    for (int c = 0; c < pf.numClasses(); ++c) {
+      const int extra = cand.extraProcs[static_cast<std::size_t>(c)];
+      if (extra < 0) fail("negative extraProcs[%d] = %d", c, extra);
+      const int allocated = extra + (c == cand.mainClass ? 1 : 0);
+      if (allocated > pf.classAt(c).count)
+        fail("class %d allocation %d exceeds the platform's %d units", c, allocated,
+             pf.classAt(c).count);
+    }
+    if (cand.totalProcs() > pf.numCores())
+      fail("total allocation %d exceeds the platform's %d cores", cand.totalProcs(),
+           pf.numCores());
+  }
+
+  /// Independent recomputation of a node's sequential time on class `c`:
+  /// the node's own (header) work plus each child's sequential candidate,
+  /// scaled by profiled execution-count ratios.
+  double sequentialSeconds(NodeId id, ClassId c) {
+    const Node& n = graph_.node(id);
+    double seconds = timing_.seconds(c, n.mixPerExec);
+    if (!n.isHierarchical()) return seconds;
+    for (NodeId childId : n.children) {
+      auto it = table_.find(childId);
+      if (it == table_.end()) {
+        fail("child node %d of node %d has no parallel set", childId, id);
+        return seconds;
+      }
+      const int seq = it->second.sequentialFor(c);
+      if (seq < 0) {
+        fail("child node %d offers no sequential candidate for class %d", childId, c);
+        return seconds;
+      }
+      const double ratio =
+          n.execCount > 0 ? graph_.node(childId).execCount / n.execCount : 0.0;
+      seconds += ratio * it->second.at(seq).timeSeconds;
+    }
+    return seconds;
+  }
+
+  void checkSequential(NodeId id, const SolutionCandidate& cand) {
+    if (cand.taskClass.size() != 1)
+      fail("sequential candidate opens %zu tasks", cand.taskClass.size());
+    if (!cand.childTask.empty() || !cand.childChoice.empty())
+      fail("sequential candidate carries a child-to-task mapping");
+    if (!cand.chunkIterations.empty())
+      fail("sequential candidate carries loop chunks");
+    for (int e : cand.extraProcs)
+      if (e != 0) fail("sequential candidate borrows %d extra processors", e);
+    const double derived = sequentialSeconds(id, cand.mainClass);
+    if (!closeEnough(cand.timeSeconds, derived, options_))
+      fail("sequential time claim %.9g s, re-derived %.9g s", cand.timeSeconds, derived);
+  }
+
+  void checkTaskParallel(NodeId id, const SolutionCandidate& cand) {
+    const Node& node = graph_.node(id);
+    if (!node.isHierarchical()) {
+      fail("task-parallel candidate on non-hierarchical node %d", id);
+      return;
+    }
+    const int N = static_cast<int>(node.children.size());
+    const int T = cand.numTasks();
+    const int C = timing_.platform().numClasses();
+    if (static_cast<int>(cand.childTask.size()) != N ||
+        static_cast<int>(cand.childChoice.size()) != N) {
+      fail("child mapping covers %zu/%zu of %d children", cand.childTask.size(),
+           cand.childChoice.size(), N);
+      return;
+    }
+
+    // Structure: exactly-one-task per child (childTask is that function),
+    // monotone ids over the topological child order => acyclic task graph.
+    for (int n = 0; n < N; ++n) {
+      const int t = cand.childTask[static_cast<std::size_t>(n)];
+      if (t < 0 || t >= T) fail("child %d on nonexistent task %d of %d", n, t, T);
+      if (n > 0 && t < cand.childTask[static_cast<std::size_t>(n - 1)])
+        fail("task ids not monotone at child %d (%d after %d) — task graph may cycle", n, t,
+             cand.childTask[static_cast<std::size_t>(n - 1)]);
+    }
+    if (!problems_.empty()) return;
+
+    // Chosen nested candidates: exist, belong to the right child, and their
+    // main class agrees with the hosting task's class (Eq 17-18).
+    std::vector<const SolutionCandidate*> chosen(static_cast<std::size_t>(N), nullptr);
+    for (int n = 0; n < N; ++n) {
+      const parallel::SolutionRef ref = cand.childChoice[static_cast<std::size_t>(n)];
+      const NodeId childId = node.children[static_cast<std::size_t>(n)];
+      if (ref.node != childId) {
+        fail("child %d's choice references node %d, expected child node %d", n, ref.node,
+             childId);
+        continue;
+      }
+      auto it = table_.find(childId);
+      if (it == table_.end() || ref.index < 0 ||
+          ref.index >= static_cast<int>(it->second.size())) {
+        fail("child %d's choice index %d is not in its parallel set", n, ref.index);
+        continue;
+      }
+      chosen[static_cast<std::size_t>(n)] = &it->second.at(ref.index);
+      const ClassId hostClass =
+          cand.taskClass[static_cast<std::size_t>(cand.childTask[static_cast<std::size_t>(n)])];
+      if (chosen[static_cast<std::size_t>(n)]->mainClass != hostClass)
+        fail("child %d's chosen candidate runs on class %d but its task is class %d", n,
+             chosen[static_cast<std::size_t>(n)]->mainClass, hostClass);
+    }
+    if (!problems_.empty()) return;
+
+    // Processor accounting (Eq 14-16): children sharing a task run
+    // sequentially and reuse their nested borrowings, so a task's footprint
+    // is the per-class MAXIMUM over its children; tasks sum.
+    std::vector<int> derivedExtra(static_cast<std::size_t>(C), 0);
+    for (std::size_t t = 1; t < cand.taskClass.size(); ++t)
+      ++derivedExtra[static_cast<std::size_t>(cand.taskClass[t])];
+    std::vector<std::vector<int>> perTask(
+        static_cast<std::size_t>(T), std::vector<int>(static_cast<std::size_t>(C), 0));
+    for (int n = 0; n < N; ++n) {
+      const auto& extra = chosen[static_cast<std::size_t>(n)]->extraProcs;
+      auto& slot = perTask[static_cast<std::size_t>(cand.childTask[static_cast<std::size_t>(n)])];
+      for (int c = 0; c < C && c < static_cast<int>(extra.size()); ++c)
+        slot[static_cast<std::size_t>(c)] =
+            std::max(slot[static_cast<std::size_t>(c)], extra[static_cast<std::size_t>(c)]);
+    }
+    for (const auto& slot : perTask)
+      for (int c = 0; c < C; ++c)
+        derivedExtra[static_cast<std::size_t>(c)] += slot[static_cast<std::size_t>(c)];
+    if (derivedExtra != cand.extraProcs) {
+      std::string got, want;
+      for (int c = 0; c < C; ++c) {
+        got += strings::format("%d ", cand.extraProcs[static_cast<std::size_t>(c)]);
+        want += strings::format("%d ", derivedExtra[static_cast<std::size_t>(c)]);
+      }
+      fail("extraProcs claim [ %s] but nested accounting derives [ %s]", got.c_str(),
+           want.c_str());
+    }
+
+    // Cost re-derivation (Eq 8-9, 11): per-task exec + task-creation +
+    // communication charges, longest path over the induced task DAG.
+    const double ratioBase = node.execCount;
+    std::vector<double> cost(static_cast<std::size_t>(T), 0.0);
+    for (int t = 1; t < T; ++t)
+      cost[static_cast<std::size_t>(t)] += timing_.taskCreationSeconds();
+    for (int n = 0; n < N; ++n) {
+      const NodeId childId = node.children[static_cast<std::size_t>(n)];
+      const double ratio =
+          ratioBase > 0 ? graph_.node(childId).execCount / ratioBase : 0.0;
+      cost[static_cast<std::size_t>(cand.childTask[static_cast<std::size_t>(n)])] +=
+          ratio * chosen[static_cast<std::size_t>(n)]->timeSeconds;
+    }
+
+    // Loop regions synchronize once per iteration; one-shot flows elsewhere
+    // (mirrors the region builder's commScale).
+    const double commScale = node.kind == htg::NodeKind::Loop
+                                 ? std::max(1.0, node.iterationsPerExec)
+                                 : 1.0;
+    std::vector<std::vector<bool>> pred(
+        static_cast<std::size_t>(T), std::vector<bool>(static_cast<std::size_t>(T), false));
+    std::map<NodeId, int> childIndex;
+    for (int n = 0; n < N; ++n) childIndex[node.children[static_cast<std::size_t>(n)]] = n;
+    for (const htg::Edge& e : node.edges) {
+      const bool orderingOnly = e.kind != ir::DepKind::Flow;
+      const double comm =
+          orderingOnly ? 0.0 : commScale * timing_.commSeconds(e.bytes);
+      const bool fromIn = e.from == node.commIn;
+      const bool toOut = e.to == node.commOut;
+      if (!fromIn && !toOut) {
+        const int tf = cand.childTask[static_cast<std::size_t>(childIndex.at(e.from))];
+        const int tt = cand.childTask[static_cast<std::size_t>(childIndex.at(e.to))];
+        if (tf != tt) {
+          pred[static_cast<std::size_t>(tf)][static_cast<std::size_t>(tt)] = true;
+          cost[static_cast<std::size_t>(tt)] += comm;
+        }
+      } else if (fromIn && !toOut) {
+        const int tt = cand.childTask[static_cast<std::size_t>(childIndex.at(e.to))];
+        if (tt != 0) cost[static_cast<std::size_t>(tt)] += comm;
+      } else if (!fromIn && toOut) {
+        const int tf = cand.childTask[static_cast<std::size_t>(childIndex.at(e.from))];
+        if (tf != 0) cost[static_cast<std::size_t>(tf)] += comm;
+      }
+    }
+
+    double derived = 0.0;
+    std::vector<double> accum(static_cast<std::size_t>(T), 0.0);
+    for (int t = 0; t < T; ++t) {
+      double best = 0.0;
+      for (int u = 0; u < t; ++u)
+        if (pred[static_cast<std::size_t>(u)][static_cast<std::size_t>(t)])
+          best = std::max(best, accum[static_cast<std::size_t>(u)]);
+      accum[static_cast<std::size_t>(t)] = best + cost[static_cast<std::size_t>(t)];
+      derived = std::max(derived, accum[static_cast<std::size_t>(t)]);
+    }
+    if (!closeEnough(cand.timeSeconds, derived, options_))
+      fail("task-parallel time claim %.9g s, critical-path re-derivation %.9g s",
+           cand.timeSeconds, derived);
+  }
+
+  void checkChunked(NodeId id, const SolutionCandidate& cand) {
+    const Node& node = graph_.node(id);
+    const platform::Platform& pf = timing_.platform();
+    if (node.kind != htg::NodeKind::Loop || !node.doall) {
+      fail("loop-chunked candidate on node %d which is not a DOALL loop", id);
+      return;
+    }
+    const int T = cand.numTasks();
+    if (static_cast<int>(cand.chunkIterations.size()) != T) {
+      fail("%zu iteration chunks for %d tasks", cand.chunkIterations.size(), T);
+      return;
+    }
+    const double iterations = std::max(1.0, node.iterationsPerExec);
+    const long long totalIters = std::llround(iterations);
+    double assigned = 0.0;
+    for (double cnt : cand.chunkIterations) {
+      if (cnt < 0) fail("negative iteration chunk %.3f", cnt);
+      assigned += cnt;
+    }
+    if (std::llround(assigned) != totalIters)
+      fail("chunks cover %.1f of %lld iterations", assigned, totalIters);
+    std::vector<int> derivedExtra(static_cast<std::size_t>(pf.numClasses()), 0);
+    for (std::size_t t = 1; t < cand.taskClass.size(); ++t)
+      ++derivedExtra[static_cast<std::size_t>(cand.taskClass[t])];
+    if (derivedExtra != cand.extraProcs)
+      fail("chunked extraProcs disagree with the task-to-class mapping");
+    if (!problems_.empty()) return;
+
+    // Re-derive the per-class cost of one iteration and the boundary
+    // communication parameters exactly like the region builder, then the
+    // chunk cost model: max over tasks.
+    std::vector<double> perIter;
+    for (int c = 0; c < pf.numClasses(); ++c)
+      perIter.push_back(sequentialSeconds(id, c) / iterations);
+    long long inBytes = 0;
+    long long outBytes = 0;
+    for (const htg::Edge& e : node.edges) {
+      if (e.from == node.commIn && e.kind == ir::DepKind::Flow) inBytes += e.bytes;
+      if (e.to == node.commOut && e.kind == ir::DepKind::Flow) outBytes += e.bytes;
+    }
+    outBytes += 8 * static_cast<long long>(node.reductionVars.size());
+    const platform::Interconnect& bus = pf.interconnect();
+    const double inLatency = inBytes > 0 ? bus.latencySeconds : 0.0;
+    const double inSlope =
+        inBytes > 0 ? static_cast<double>(inBytes) / iterations / bus.bytesPerSecond : 0.0;
+    const double outLatency = outBytes > 0 ? bus.latencySeconds : 0.0;
+    const double outSlope =
+        outBytes > 0 ? static_cast<double>(outBytes) / iterations / bus.bytesPerSecond : 0.0;
+
+    double derived = 0.0;
+    for (int t = 0; t < T; ++t) {
+      const double cnt = cand.chunkIterations[static_cast<std::size_t>(t)];
+      double taskCost =
+          perIter[static_cast<std::size_t>(cand.taskClass[static_cast<std::size_t>(t)])] * cnt;
+      if (t > 0)
+        taskCost += timing_.taskCreationSeconds() + inLatency + outLatency +
+                    (inSlope + outSlope) * cnt;
+      derived = std::max(derived, taskCost);
+    }
+    if (!closeEnough(cand.timeSeconds, derived, options_))
+      fail("loop-chunked time claim %.9g s, re-derivation %.9g s", cand.timeSeconds, derived);
+  }
+
+  const htg::Graph& graph_;
+  const cost::TimingModel& timing_;
+  const SolutionTable& table_;
+  const InvariantOptions& options_;
+  std::vector<std::string> problems_;
+};
+
+}  // namespace
+
+std::vector<std::string> checkCandidate(const htg::Graph& graph,
+                                        const cost::TimingModel& timing,
+                                        const SolutionTable& table, NodeId node, int index,
+                                        const InvariantOptions& options) {
+  CandidateChecker checker(graph, timing, table, options);
+  return checker.check(node, index);
+}
+
+std::vector<std::string> checkSolutionTable(const htg::Graph& graph,
+                                            const cost::TimingModel& timing,
+                                            const SolutionTable& table,
+                                            const InvariantOptions& options) {
+  std::vector<std::string> problems;
+  const int C = timing.platform().numClasses();
+  for (const auto& [id, set] : table) {
+    if (set.size() == 0) {
+      problems.push_back(strings::format("node %d: empty parallel set", id));
+      continue;
+    }
+    for (ClassId c = 0; c < C; ++c)
+      if (set.sequentialFor(c) < 0)
+        problems.push_back(
+            strings::format("node %d: no sequential candidate for class %d", id, c));
+    CandidateChecker checker(graph, timing, table, options);
+    for (int i = 0; i < static_cast<int>(set.size()); ++i)
+      for (const std::string& p : checker.check(id, i))
+        problems.push_back(strings::format("node %d cand %d: %s", id, i, p.c_str()));
+  }
+  return problems;
+}
+
+}  // namespace hetpar::verify

@@ -1,0 +1,60 @@
+// Structural and cost invariants every parallelization outcome must satisfy.
+//
+// This is a deliberately INDEPENDENT re-implementation of the solution
+// semantics (paper Eq 1-18): it shares no code with the ILP model, the
+// decoder, or the greedy fallback, so a silent wrong-answer bug in any of
+// them — made likelier, not less likely, by the concurrent solve engine and
+// the region cache — trips a check here instead of shipping a bogus
+// "optimal" mapping. Checked per candidate:
+//
+//   * structure — every child assigned to exactly one task, chosen nested
+//     candidates exist in the child's parallel set and belong to that child,
+//     task ids are monotone over the (topological) child order so the
+//     induced task graph is acyclic, the main task runs on the candidate's
+//     tagged class;
+//   * class consistency (Eq 17-18) — each chosen nested candidate's main
+//     class equals the class of the task hosting the child;
+//   * processor accounting (Eq 14-16) — `extraProcs` equals own extra tasks
+//     plus the per-task/per-class maximum of the chosen nested candidates'
+//     footprints, and the total per-class allocation fits the platform;
+//   * cost re-derivation (Eq 8-9, 11) — the claimed `timeSeconds` is
+//     reproduced from per-class node costs, communication charges and the
+//     task-creation overhead by an independent longest-path evaluation,
+//     within floating-point rounding.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hetpar/cost/timing.hpp"
+#include "hetpar/htg/graph.hpp"
+#include "hetpar/parallel/solution.hpp"
+
+namespace hetpar::verify {
+
+struct InvariantOptions {
+  /// Tolerances for the cost re-derivation: |claimed - rederived| must be
+  /// <= relTol * max(|claimed|, |rederived|) + absTolSeconds. The solver
+  /// works in scaled microseconds with ~1e-7 feasibility tolerance plus a
+  /// 1e-10 s per-task tie-break, so 1e-9 s absolute slack is generous.
+  double relTol = 1e-6;
+  double absTolSeconds = 1e-9;
+};
+
+/// Checks one candidate of `node`'s parallel set. Returns human-readable
+/// problems; empty = all invariants hold.
+std::vector<std::string> checkCandidate(const htg::Graph& graph,
+                                        const cost::TimingModel& timing,
+                                        const parallel::SolutionTable& table,
+                                        htg::NodeId node, int index,
+                                        const InvariantOptions& options = {});
+
+/// Checks every candidate of every node in `table`, plus per-set guarantees
+/// (non-empty, a sequential candidate per processor class). Problems are
+/// prefixed with "node <id> cand <i>: " so a failure names its candidate.
+std::vector<std::string> checkSolutionTable(const htg::Graph& graph,
+                                            const cost::TimingModel& timing,
+                                            const parallel::SolutionTable& table,
+                                            const InvariantOptions& options = {});
+
+}  // namespace hetpar::verify

@@ -1,0 +1,433 @@
+#include "hetpar/verify/metamorphic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hetpar/htg/builder.hpp"
+#include "hetpar/htg/validate.hpp"
+#include "hetpar/ilp/branch_and_bound.hpp"
+#include "hetpar/parallel/genetic.hpp"
+#include "hetpar/parallel/homogeneous.hpp"
+#include "hetpar/sched/flatten.hpp"
+#include "hetpar/sim/mpsoc.hpp"
+#include "hetpar/support/error.hpp"
+#include "hetpar/support/strings.hpp"
+#include "hetpar/verify/invariants.hpp"
+#include "hetpar/verify/oracle.hpp"
+
+namespace hetpar::verify {
+
+namespace {
+
+bool closeEnough(double a, double b, double relTol, double absTol) {
+  return std::abs(a - b) <= relTol * std::max(std::abs(a), std::abs(b)) + absTol;
+}
+
+RelationResult pass(Relation r) { return RelationResult{r, relationName(r), true, false, ""}; }
+
+RelationResult fail(Relation r, std::string detail) {
+  return RelationResult{r, relationName(r), false, false, std::move(detail)};
+}
+
+RelationResult skip(Relation r, std::string why) {
+  return RelationResult{r, relationName(r), true, true, std::move(why)};
+}
+
+parallel::ParallelizeOutcome runPipeline(const htg::Graph& graph,
+                                         const cost::TimingModel& timing,
+                                         parallel::ParallelizerOptions options) {
+  parallel::Parallelizer tool(graph, timing, options);
+  return tool.run();
+}
+
+/// Every cost in the platform scaled by `factor` (a power of two, so the
+/// scaling is exact in floating point): cores `factor`x slower, bus
+/// `factor`x slower in both latency and bandwidth, TCO `factor`x larger.
+platform::Platform scaledPlatform(const platform::Platform& pf, double factor) {
+  std::vector<platform::ProcessorClass> classes = pf.classes();
+  for (auto& c : classes) c.frequencyMHz /= factor;
+  platform::Interconnect bus = pf.interconnect();
+  bus.latencySeconds *= factor;
+  bus.bytesPerSecond /= factor;
+  return platform::Platform(pf.name() + "_scaled", std::move(classes), bus,
+                            pf.taskCreationOverheadSeconds() * factor);
+}
+
+ilp::SolveOptions deterministicSolverOptions() {
+  ilp::SolveOptions so;
+  so.timeLimitSeconds = 1e9;  // node cap only: wall clock must not matter
+  so.maxNodes = 2'000'000;
+  return so;
+}
+
+// ---------------------------------------------------------------------------
+// Program-level relations
+// ---------------------------------------------------------------------------
+
+RelationResult checkInvariants(const htg::Graph& graph, const cost::TimingModel& timing,
+                               const MetamorphicOptions& options) {
+  const parallel::ParallelizeOutcome outcome =
+      runPipeline(graph, timing, options.parallelizer);
+  InvariantOptions io;
+  io.relTol = options.relTol;
+  io.absTolSeconds = options.absTolSeconds;
+  const std::vector<std::string> problems =
+      checkSolutionTable(graph, timing, outcome.table, io);
+  if (problems.empty()) return pass(Relation::Invariants);
+  return fail(Relation::Invariants,
+              strings::format("%zu invariant violations; first: %s", problems.size(),
+                              problems.front().c_str()));
+}
+
+RelationResult checkCostScaling(const htg::Graph& graph, const platform::Platform& pf,
+                                const MetamorphicOptions& options) {
+  constexpr double kFactor = 4.0;
+  const cost::TimingModel baseTiming(pf);
+  const parallel::ParallelizeOutcome base =
+      runPipeline(graph, baseTiming, options.parallelizer);
+
+  const platform::Platform scaled = scaledPlatform(pf, kFactor);
+  const cost::TimingModel scaledTiming(scaled);
+  const parallel::ParallelizeOutcome slow =
+      runPipeline(graph, scaledTiming, options.parallelizer);
+
+  const parallel::ParallelSet& baseRoot = base.table.at(graph.root());
+  const parallel::ParallelSet& slowRoot = slow.table.at(graph.root());
+  for (int c = 0; c < static_cast<int>(pf.classes().size()); ++c) {
+    const int bi = baseRoot.bestFor(c);
+    const int si = slowRoot.bestFor(c);
+    if ((bi < 0) != (si < 0))
+      return fail(Relation::CostScaling,
+                  strings::format("class %d: best candidate exists only in one run", c));
+    if (bi < 0) continue;
+    const double expected = baseRoot.at(bi).timeSeconds * kFactor;
+    const double actual = slowRoot.at(si).timeSeconds;
+    if (!closeEnough(actual, expected, options.relTol, options.absTolSeconds * kFactor))
+      return fail(Relation::CostScaling,
+                  strings::format("class %d: %gx-scaled platform best %.12g s, expected "
+                                  "%.12g s (base %.12g s)",
+                                  c, kFactor, actual, expected, baseRoot.at(bi).timeSeconds));
+  }
+  return pass(Relation::CostScaling);
+}
+
+RelationResult checkSingleClassHomogeneous(const htg::Graph& graph,
+                                           const platform::Platform& pf,
+                                           const MetamorphicOptions& options) {
+  if (pf.classes().size() != 1)
+    return skip(Relation::SingleClassHomogeneous, "platform has more than one class");
+  const cost::TimingModel timing(pf);
+  const parallel::ParallelizeOutcome het = runPipeline(graph, timing, options.parallelizer);
+  const parallel::HomogeneousRun homog =
+      parallel::runHomogeneousBaseline(graph, pf, 0, options.parallelizer);
+  const std::string diff = diffSolutionTables(het.table, homog.outcome.table);
+  if (diff.empty()) return pass(Relation::SingleClassHomogeneous);
+  return fail(Relation::SingleClassHomogeneous,
+              "heterogeneous and homogeneous runs disagree on a single-class "
+              "platform: " +
+                  diff);
+}
+
+RelationResult checkJobsInvariance(const htg::Graph& graph, const cost::TimingModel& timing,
+                                   const MetamorphicOptions& options) {
+  parallel::ParallelizerOptions seq = options.parallelizer;
+  seq.jobs = 1;
+  parallel::ParallelizerOptions par = options.parallelizer;
+  par.jobs = 3;
+  const parallel::ParallelizeOutcome a = runPipeline(graph, timing, seq);
+  const parallel::ParallelizeOutcome b = runPipeline(graph, timing, par);
+  const std::string diff = diffSolutionTables(a.table, b.table);
+  if (diff.empty()) return pass(Relation::JobsInvariance);
+  return fail(Relation::JobsInvariance, "--jobs 1 vs --jobs 3 outcomes differ: " + diff);
+}
+
+RelationResult checkCacheInvariance(const htg::Graph& graph, const cost::TimingModel& timing,
+                                    const MetamorphicOptions& options) {
+  parallel::ParallelizerOptions off = options.parallelizer;
+  off.enableRegionCache = false;
+  parallel::ParallelizerOptions on = options.parallelizer;
+  on.enableRegionCache = true;
+  const parallel::ParallelizeOutcome a = runPipeline(graph, timing, off);
+  const parallel::ParallelizeOutcome b = runPipeline(graph, timing, on);
+  const std::string diff = diffSolutionTables(a.table, b.table);
+  if (!diff.empty())
+    return fail(Relation::CacheInvariance, "region cache changed the outcome: " + diff);
+  // Accounting: a hit replaces exactly one solve, so solves without the
+  // cache == solves + hits with it.
+  if (a.stats.numIlps != b.stats.numIlps + b.stats.cacheHits)
+    return fail(Relation::CacheInvariance,
+                strings::format("cache accounting broken: %lld uncached solves vs "
+                                "%lld cached solves + %lld hits",
+                                a.stats.numIlps, b.stats.numIlps, b.stats.cacheHits));
+  return pass(Relation::CacheInvariance);
+}
+
+RelationResult checkSimConsistency(const htg::Graph& graph, const platform::Platform& pf,
+                                   const MetamorphicOptions& options) {
+  const cost::TimingModel timing(pf);
+  const parallel::ParallelizeOutcome outcome =
+      runPipeline(graph, timing, options.parallelizer);
+  const parallel::ParallelSet& root = outcome.table.at(graph.root());
+
+  std::vector<platform::ClassId> mains = {pf.fastestClass()};
+  if (pf.slowestClass() != pf.fastestClass()) mains.push_back(pf.slowestClass());
+  for (platform::ClassId mainClass : mains) {
+    const int mainCore = pf.firstCoreOfClass(mainClass);
+
+    // Sequential: claim and simulation derive from the same profile; only
+    // the summation order differs.
+    const int seqIdx = root.sequentialFor(mainClass);
+    if (seqIdx < 0)
+      return fail(Relation::SimConsistency,
+                  strings::format("no sequential root candidate for class %d", mainClass));
+    const double claimedSeq = root.at(seqIdx).timeSeconds;
+    const sched::FlattenResult seq = sched::flattenSequential(graph, timing, mainCore);
+    const double simSeq = sim::simulate(seq.graph).makespanSeconds;
+    if (!closeEnough(simSeq, claimedSeq, options.seqSimRelTol, options.absTolSeconds))
+      return fail(Relation::SimConsistency,
+                  strings::format("class %d: sequential sim %.12g s vs claimed %.12g s",
+                                  mainClass, simSeq, claimedSeq));
+
+    // Parallel: the DES serializes the bus, so the band is generous.
+    const parallel::SolutionRef best = outcome.bestRoot(graph, mainClass);
+    if (!best.valid())
+      return fail(Relation::SimConsistency,
+                  strings::format("no best root candidate for class %d", mainClass));
+    const double claimed = outcome.table.at(best.node).at(best.index).timeSeconds;
+    const sched::FlattenResult flat =
+        sched::flatten(graph, outcome.table, best, timing, mainCore);
+    const double simPar = sim::simulate(flat.graph).makespanSeconds;
+    if (simPar < claimed * options.simLowerFactor ||
+        simPar > claimed * options.simUpperFactor)
+      return fail(Relation::SimConsistency,
+                  strings::format("class %d: parallel sim %.12g s outside [%g, %g] x "
+                                  "claimed %.12g s",
+                                  mainClass, simPar, options.simLowerFactor,
+                                  options.simUpperFactor, claimed));
+  }
+  return pass(Relation::SimConsistency);
+}
+
+// ---------------------------------------------------------------------------
+// Region-level relations
+// ---------------------------------------------------------------------------
+
+RelationResult checkGaVsIlp(std::uint64_t seed, const MetamorphicOptions& options) {
+  Rng rng(seed);
+  const parallel::IlpRegion region = randomTinyRegion(rng);
+  ilp::BranchAndBoundSolver solver(deterministicSolverOptions());
+  const parallel::IlpParResult ilp = parallel::solveIlpPar(region, solver);
+  if (!ilp.feasible || !ilp.provenOptimal)
+    return skip(Relation::GaVsIlp, "ILP did not prove optimality within limits");
+  parallel::GaOptions ga;
+  ga.seed = seed * 2654435761u + 1;
+  const parallel::IlpParResult evolved = parallel::solveGaPar(region, ga);
+  if (!evolved.feasible) return pass(Relation::GaVsIlp);  // GA may fail; it must not win
+  // The ILP's reported time may sit a hair above the true optimum (the
+  // vanishing open-task penalty), hence the tolerance.
+  if (evolved.timeSeconds <
+      ilp.timeSeconds - (options.relTol * ilp.timeSeconds + options.absTolSeconds))
+    return fail(Relation::GaVsIlp,
+                strings::format("GA found %.12g s, beating the 'optimal' ILP's %.12g s",
+                                evolved.timeSeconds, ilp.timeSeconds));
+  return pass(Relation::GaVsIlp);
+}
+
+RelationResult checkOracleTask(std::uint64_t seed, const MetamorphicOptions& options) {
+  Rng rng(seed);
+  const parallel::IlpRegion region = randomTinyRegion(rng);
+  ilp::BranchAndBoundSolver solver(deterministicSolverOptions());
+  const parallel::IlpParResult ilp = parallel::solveIlpPar(region, solver);
+  const OracleResult oracle = bruteForceTask(region);
+  if (!oracle.feasible)
+    return fail(Relation::OracleTask, "oracle found no feasible assignment (generator bug)");
+  if (!ilp.feasible)
+    return fail(Relation::OracleTask,
+                strings::format("ILP infeasible but brute force achieves %.12g s",
+                                oracle.bestSeconds));
+  if (!ilp.provenOptimal)
+    return skip(Relation::OracleTask, "ILP did not prove optimality within limits");
+  if (!closeEnough(ilp.timeSeconds, oracle.bestSeconds, options.relTol,
+                   options.absTolSeconds))
+    return fail(Relation::OracleTask,
+                strings::format("ILP claims %.12g s but exhaustive optimum over %lld "
+                                "assignments is %.12g s",
+                                ilp.timeSeconds, oracle.assignmentsTried,
+                                oracle.bestSeconds));
+  return pass(Relation::OracleTask);
+}
+
+RelationResult checkOracleChunk(std::uint64_t seed, const MetamorphicOptions& options) {
+  Rng rng(seed);
+  const parallel::ChunkRegion region = randomTinyChunkRegion(rng);
+  ilp::BranchAndBoundSolver solver(deterministicSolverOptions());
+  const parallel::ChunkResult ilp = parallel::solveChunkIlp(region, solver);
+  const OracleResult oracle = bruteForceChunk(region);
+  if (!oracle.feasible)
+    return fail(Relation::OracleChunk, "oracle found no feasible split (generator bug)");
+  if (!ilp.feasible)
+    return fail(Relation::OracleChunk,
+                strings::format("chunk ILP infeasible but brute force achieves %.12g s",
+                                oracle.bestSeconds));
+  if (!ilp.provenOptimal)
+    return skip(Relation::OracleChunk, "chunk ILP did not prove optimality within limits");
+  if (!closeEnough(ilp.timeSeconds, oracle.bestSeconds, options.relTol,
+                   options.absTolSeconds))
+    return fail(Relation::OracleChunk,
+                strings::format("chunk ILP claims %.12g s but exhaustive optimum over "
+                                "%lld splits is %.12g s",
+                                ilp.timeSeconds, oracle.assignmentsTried,
+                                oracle.bestSeconds));
+  return pass(Relation::OracleChunk);
+}
+
+}  // namespace
+
+parallel::ParallelizerOptions MetamorphicOptions::deterministicOptions() {
+  parallel::ParallelizerOptions o;
+  // Wall-clock solver limits are the only nondeterminism boundary; replace
+  // them with a (deterministic) node cap as the jobs-invariance tests do.
+  o.ilpTimeLimitSeconds = 1e9;
+  o.ilpMaxNodes = 2'000;
+  // Keep the per-region models small: every relation must hold under any
+  // configuration, and small models buy fuzz throughput (the bundled
+  // simplex pays dearly for large tableaus).
+  o.maxTasksPerRegion = 2;
+  o.maxCandidatesPerClass = 2;
+  o.chunkCount = 8;
+  return o;
+}
+
+std::vector<Relation> allRelations() {
+  return {Relation::Invariants,     Relation::CostScaling,
+          Relation::SingleClassHomogeneous, Relation::JobsInvariance,
+          Relation::CacheInvariance, Relation::GaVsIlp,
+          Relation::OracleTask,     Relation::OracleChunk,
+          Relation::SimConsistency};
+}
+
+std::string relationName(Relation r) {
+  switch (r) {
+    case Relation::Invariants: return "invariants";
+    case Relation::CostScaling: return "cost-scaling";
+    case Relation::SingleClassHomogeneous: return "single-class-homogeneous";
+    case Relation::JobsInvariance: return "jobs-invariance";
+    case Relation::CacheInvariance: return "cache-invariance";
+    case Relation::GaVsIlp: return "ga-vs-ilp";
+    case Relation::OracleTask: return "oracle-task";
+    case Relation::OracleChunk: return "oracle-chunk";
+    case Relation::SimConsistency: return "sim-consistency";
+  }
+  return "unknown";
+}
+
+std::vector<Relation> parseRelations(const std::string& spec) {
+  if (strings::trim(spec) == "all") return allRelations();
+  std::vector<Relation> out;
+  for (const std::string& part : strings::split(spec, ',')) {
+    const std::string name(strings::trim(part));
+    if (name.empty()) continue;
+    bool found = false;
+    for (Relation r : allRelations()) {
+      if (relationName(r) == name) {
+        out.push_back(r);
+        found = true;
+        break;
+      }
+    }
+    require(found, "unknown relation: " + name);
+  }
+  require(!out.empty(), "empty relation list");
+  return out;
+}
+
+bool isProgramRelation(Relation r) {
+  switch (r) {
+    case Relation::GaVsIlp:
+    case Relation::OracleTask:
+    case Relation::OracleChunk:
+      return false;
+    default:
+      return true;
+  }
+}
+
+std::string diffSolutionTables(const parallel::SolutionTable& a,
+                               const parallel::SolutionTable& b) {
+  if (a.size() != b.size())
+    return strings::format("table sizes differ: %zu vs %zu nodes", a.size(), b.size());
+  auto ia = a.begin();
+  auto ib = b.begin();
+  for (; ia != a.end(); ++ia, ++ib) {
+    if (ia->first != ib->first)
+      return strings::format("node ids differ: %d vs %d", ia->first, ib->first);
+    const parallel::ParallelSet& sa = ia->second;
+    const parallel::ParallelSet& sb = ib->second;
+    if (sa.size() != sb.size())
+      return strings::format("node %d: %zu vs %zu candidates", ia->first, sa.size(),
+                             sb.size());
+    for (int i = 0; i < static_cast<int>(sa.size()); ++i) {
+      const parallel::SolutionCandidate& ca = sa.at(i);
+      const parallel::SolutionCandidate& cb = sb.at(i);
+      const auto where = [&](const char* field) {
+        return strings::format("node %d cand %d: %s differs", ia->first, i, field);
+      };
+      if (ca.kind != cb.kind) return where("kind");
+      if (ca.mainClass != cb.mainClass) return where("mainClass");
+      if (ca.timeSeconds != cb.timeSeconds) return where("timeSeconds");
+      if (ca.extraProcs != cb.extraProcs) return where("extraProcs");
+      if (ca.taskClass != cb.taskClass) return where("taskClass");
+      if (ca.childTask != cb.childTask) return where("childTask");
+      if (ca.chunkIterations != cb.chunkIterations) return where("chunkIterations");
+      if (ca.childChoice.size() != cb.childChoice.size()) return where("childChoice size");
+      for (std::size_t k = 0; k < ca.childChoice.size(); ++k)
+        if (ca.childChoice[k].node != cb.childChoice[k].node ||
+            ca.childChoice[k].index != cb.childChoice[k].index)
+          return where("childChoice");
+    }
+  }
+  return "";
+}
+
+RelationResult checkProgramRelation(Relation r, const std::string& source,
+                                    const platform::Platform& pf,
+                                    const MetamorphicOptions& options) {
+  require(isProgramRelation(r), "relation " + relationName(r) + " is region-level");
+  htg::FrontendBundle bundle = htg::buildFromSource(source);
+  htg::validateOrThrow(bundle.graph);
+  const cost::TimingModel timing(pf);
+  switch (r) {
+    case Relation::Invariants:
+      return checkInvariants(bundle.graph, timing, options);
+    case Relation::CostScaling:
+      return checkCostScaling(bundle.graph, pf, options);
+    case Relation::SingleClassHomogeneous:
+      return checkSingleClassHomogeneous(bundle.graph, pf, options);
+    case Relation::JobsInvariance:
+      return checkJobsInvariance(bundle.graph, timing, options);
+    case Relation::CacheInvariance:
+      return checkCacheInvariance(bundle.graph, timing, options);
+    case Relation::SimConsistency:
+      return checkSimConsistency(bundle.graph, pf, options);
+    default:
+      break;
+  }
+  throw Error("unhandled program relation");
+}
+
+RelationResult checkRegionRelation(Relation r, std::uint64_t seed,
+                                   const MetamorphicOptions& options) {
+  switch (r) {
+    case Relation::GaVsIlp:
+      return checkGaVsIlp(seed, options);
+    case Relation::OracleTask:
+      return checkOracleTask(seed, options);
+    case Relation::OracleChunk:
+      return checkOracleChunk(seed, options);
+    default:
+      break;
+  }
+  throw Error("relation " + relationName(r) + " is program-level");
+}
+
+}  // namespace hetpar::verify

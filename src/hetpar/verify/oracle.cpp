@@ -1,0 +1,315 @@
+#include "hetpar/verify/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "hetpar/parallel/genetic.hpp"
+#include "hetpar/support/error.hpp"
+#include "hetpar/support/strings.hpp"
+
+namespace hetpar::verify {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Recursive enumerator for the task model. Order of nesting: monotone
+/// child-to-task assignment, then task classes, then nested-candidate picks
+/// (the pick menus depend on the hosting task's class). Every leaf calls
+/// parallel::evaluateAssignment, which rejects budget violations itself.
+class TaskEnumerator {
+ public:
+  explicit TaskEnumerator(const parallel::IlpRegion& region)
+      : region_(region),
+        N_(static_cast<int>(region.children.size())),
+        C_(static_cast<int>(region.numProcsPerClass.size())),
+        T_(std::max(1, region.maxTasks)) {
+    childTask_.assign(static_cast<std::size_t>(N_), 0);
+    childPick_.assign(static_cast<std::size_t>(N_), 0);
+    taskClass_.assign(static_cast<std::size_t>(T_), region.seqPC);
+  }
+
+  OracleResult run() {
+    assignTasks(0, 0);
+    return std::move(result_);
+  }
+
+ private:
+  void assignTasks(int n, int minTask) {
+    if (n == N_) {
+      assignClasses(1);
+      return;
+    }
+    // Monotone task ids over the topological child order (Eq 10): anything
+    // non-monotone is infeasible in the model, so skip it outright.
+    for (int t = minTask; t < T_; ++t) {
+      childTask_[static_cast<std::size_t>(n)] = t;
+      assignTasks(n + 1, t);
+    }
+  }
+
+  void assignClasses(int t) {
+    if (t == T_) {
+      assignPicks(0);
+      return;
+    }
+    for (int c = 0; c < C_; ++c) {
+      taskClass_[static_cast<std::size_t>(t)] = c;
+      assignClasses(t + 1);
+    }
+  }
+
+  void assignPicks(int n) {
+    if (n == N_) {
+      score();
+      return;
+    }
+    const platform::ClassId cls =
+        taskClass_[static_cast<std::size_t>(childTask_[static_cast<std::size_t>(n)])];
+    const auto& menu =
+        region_.children[static_cast<std::size_t>(n)].byClass[static_cast<std::size_t>(cls)];
+    for (int s = 0; s < static_cast<int>(menu.size()); ++s) {
+      childPick_[static_cast<std::size_t>(n)] = s;
+      assignPicks(n + 1);
+    }
+  }
+
+  void score() {
+    ++result_.assignmentsTried;
+    const double v =
+        parallel::evaluateAssignment(region_, childTask_, taskClass_, childPick_);
+    if (!std::isfinite(v)) return;
+    if (!result_.feasible || v < result_.bestSeconds) {
+      result_.feasible = true;
+      result_.bestSeconds = v;
+      result_.childTask = childTask_;
+      result_.taskClass = taskClass_;
+      result_.childPick = childPick_;
+    }
+  }
+
+  const parallel::IlpRegion& region_;
+  int N_, C_, T_;
+  std::vector<int> childTask_;
+  std::vector<int> childPick_;
+  std::vector<platform::ClassId> taskClass_;
+  OracleResult result_;
+};
+
+}  // namespace
+
+OracleResult bruteForceTask(const parallel::IlpRegion& region) {
+  require(static_cast<int>(region.children.size()) <= 8,
+          "task oracle limited to <= 8 children");
+  require(region.maxTasks <= 4, "task oracle limited to <= 4 tasks");
+  require(static_cast<int>(region.numProcsPerClass.size()) <= 3,
+          "task oracle limited to <= 3 classes");
+  return TaskEnumerator(region).run();
+}
+
+namespace {
+
+/// Cost of one chunked-loop assignment, mirroring solveChunkIlp: the main
+/// task pays only its iteration share on seqPC; every extra opened task pays
+/// TCO plus both comm latencies once and the comm slopes plus its class's
+/// per-iteration time per assigned iteration. Makespan = max over tasks.
+double chunkCost(const parallel::ChunkRegion& region,
+                 const std::vector<platform::ClassId>& taskClass,
+                 const std::vector<long long>& cnt) {
+  double makespan = 0.0;
+  for (std::size_t t = 0; t < cnt.size(); ++t) {
+    const double n = static_cast<double>(cnt[t]);
+    double cost;
+    if (t == 0) {
+      cost = region.secondsPerIter[static_cast<std::size_t>(region.seqPC)] * n;
+    } else {
+      cost = region.taskCreationSeconds + region.commInLatency + region.commOutLatency +
+             (region.commInSecondsPerIter + region.commOutSecondsPerIter) * n +
+             region.secondsPerIter[static_cast<std::size_t>(taskClass[t])] * n;
+    }
+    makespan = std::max(makespan, cost);
+  }
+  return makespan;
+}
+
+class ChunkEnumerator {
+ public:
+  explicit ChunkEnumerator(const parallel::ChunkRegion& region)
+      : region_(region),
+        C_(static_cast<int>(region.numProcsPerClass.size())),
+        T_(std::max(1, region.maxTasks)) {}
+
+  OracleResult run() {
+    for (int k = 1; k <= std::min(T_, region_.maxProcs); ++k) {
+      taskClass_.assign(static_cast<std::size_t>(k), region_.seqPC);
+      cnt_.assign(static_cast<std::size_t>(k), 0);
+      assignClasses(1, k);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void assignClasses(int t, int k) {
+    if (t == k) {
+      if (!budgetOk(k)) return;
+      splitIterations(0, k, region_.iterations);
+      return;
+    }
+    for (int c = 0; c < C_; ++c) {
+      taskClass_[static_cast<std::size_t>(t)] = c;
+      assignClasses(t + 1, k);
+    }
+  }
+
+  bool budgetOk(int k) const {
+    std::vector<int> allocated(static_cast<std::size_t>(C_), 0);
+    allocated[static_cast<std::size_t>(region_.seqPC)] += 1;
+    for (int t = 1; t < k; ++t) allocated[static_cast<std::size_t>(taskClass_[static_cast<std::size_t>(t)])] += 1;
+    for (int c = 0; c < C_; ++c)
+      if (allocated[static_cast<std::size_t>(c)] >
+          region_.numProcsPerClass[static_cast<std::size_t>(c)])
+        return false;
+    return true;
+  }
+
+  void splitIterations(int t, int k, long long remaining) {
+    if (t == k - 1) {
+      cnt_[static_cast<std::size_t>(t)] = remaining;
+      score();
+      return;
+    }
+    for (long long n = 0; n <= remaining; ++n) {
+      cnt_[static_cast<std::size_t>(t)] = n;
+      splitIterations(t + 1, k, remaining - n);
+    }
+  }
+
+  void score() {
+    ++result_.assignmentsTried;
+    const double v = chunkCost(region_, taskClass_, cnt_);
+    if (!result_.feasible || v < result_.bestSeconds) {
+      result_.feasible = true;
+      result_.bestSeconds = v;
+      result_.taskClass = taskClass_;
+    }
+  }
+
+  const parallel::ChunkRegion& region_;
+  int C_, T_;
+  std::vector<platform::ClassId> taskClass_;
+  std::vector<long long> cnt_;
+  OracleResult result_;
+};
+
+}  // namespace
+
+OracleResult bruteForceChunk(const parallel::ChunkRegion& region) {
+  require(region.iterations > 0 && region.iterations <= 64,
+          "chunk oracle limited to <= 64 iterations");
+  require(region.maxTasks <= 4, "chunk oracle limited to <= 4 tasks");
+  require(static_cast<int>(region.numProcsPerClass.size()) <= 3,
+          "chunk oracle limited to <= 3 classes");
+  require(static_cast<int>(region.secondsPerIter.size()) ==
+              static_cast<int>(region.numProcsPerClass.size()),
+          "chunk oracle: per-class iteration times missing");
+  return ChunkEnumerator(region).run();
+}
+
+parallel::IlpRegion randomTinyRegion(Rng& rng, const TinyRegionOptions& options) {
+  parallel::IlpRegion region;
+  const int N = static_cast<int>(rng.range(options.minChildren, options.maxChildren));
+  const int C = static_cast<int>(rng.range(1, options.maxClasses));
+  region.name = "tiny";
+  region.seqPC = static_cast<platform::ClassId>(rng.below(static_cast<std::uint64_t>(C)));
+  region.numProcsPerClass.resize(static_cast<std::size_t>(C));
+  int totalProcs = 0;
+  for (int c = 0; c < C; ++c) {
+    region.numProcsPerClass[static_cast<std::size_t>(c)] = static_cast<int>(rng.range(1, 3));
+    totalProcs += region.numProcsPerClass[static_cast<std::size_t>(c)];
+  }
+  region.maxProcs = static_cast<int>(rng.range(1, totalProcs));
+  region.maxTasks = std::min(options.maxTasks, region.maxProcs);
+  region.taskCreationSeconds = rng.uniform(2e-6, 20e-6);
+  region.upperBoundSeconds = 0.0;  // keep the full space feasible
+
+  for (int n = 0; n < N; ++n) {
+    parallel::IlpChild child;
+    child.label = strings::format("child%d", n);
+    child.byClass.resize(static_cast<std::size_t>(C));
+    for (int c = 0; c < C; ++c) {
+      // First candidate per class consumes no extra processors, so the
+      // all-in-main assignment is always feasible.
+      parallel::IlpCandidate seq;
+      seq.timeSeconds = rng.uniform(1e-6, 100e-6);
+      seq.extraProcs.assign(static_cast<std::size_t>(C), 0);
+      child.byClass[static_cast<std::size_t>(c)].push_back(seq);
+      const int extraCands = static_cast<int>(rng.range(0, options.maxCandidatesPerClass - 1));
+      for (int s = 0; s < extraCands; ++s) {
+        parallel::IlpCandidate par;
+        par.timeSeconds = seq.timeSeconds * rng.uniform(0.3, 0.9);
+        par.extraProcs.assign(static_cast<std::size_t>(C), 0);
+        par.extraProcs[rng.below(static_cast<std::uint64_t>(C))] = 1;
+        child.byClass[static_cast<std::size_t>(c)].push_back(par);
+      }
+    }
+    region.children.push_back(std::move(child));
+  }
+
+  for (int i = 0; i < N; ++i) {
+    for (int j = i + 1; j < N; ++j) {
+      if (!rng.chance(options.edgeProbability)) continue;
+      parallel::IlpEdgeSpec e;
+      e.from = i;
+      e.to = j;
+      e.orderingOnly = rng.chance(0.2);
+      e.commSeconds = e.orderingOnly ? 0.0 : rng.uniform(0.5e-6, 20e-6);
+      region.edges.push_back(e);
+    }
+  }
+  for (int n = 0; n < N; ++n) {
+    if (rng.chance(options.boundaryEdgeProbability)) {
+      parallel::IlpEdgeSpec in;
+      in.from = -1;
+      in.to = n;
+      in.commSeconds = rng.uniform(0.5e-6, 10e-6);
+      region.edges.push_back(in);
+    }
+    if (rng.chance(options.boundaryEdgeProbability)) {
+      parallel::IlpEdgeSpec out;
+      out.from = n;
+      out.to = N;
+      out.commSeconds = rng.uniform(0.5e-6, 10e-6);
+      region.edges.push_back(out);
+    }
+  }
+  return region;
+}
+
+parallel::ChunkRegion randomTinyChunkRegion(Rng& rng, const TinyRegionOptions& options) {
+  parallel::ChunkRegion region;
+  const int C = static_cast<int>(rng.range(1, options.maxClasses));
+  region.name = "tinychunk";
+  region.iterations = rng.range(4, 48);
+  region.seqPC = static_cast<platform::ClassId>(rng.below(static_cast<std::uint64_t>(C)));
+  region.secondsPerIter.resize(static_cast<std::size_t>(C));
+  for (int c = 0; c < C; ++c)
+    region.secondsPerIter[static_cast<std::size_t>(c)] = rng.uniform(0.5e-6, 10e-6);
+  region.commInLatency = rng.uniform(0.0, 3e-6);
+  region.commOutLatency = rng.uniform(0.0, 3e-6);
+  region.commInSecondsPerIter = rng.uniform(0.0, 0.5e-6);
+  region.commOutSecondsPerIter = rng.uniform(0.0, 0.5e-6);
+  region.numProcsPerClass.resize(static_cast<std::size_t>(C));
+  int totalProcs = 0;
+  for (int c = 0; c < C; ++c) {
+    region.numProcsPerClass[static_cast<std::size_t>(c)] = static_cast<int>(rng.range(1, 3));
+    totalProcs += region.numProcsPerClass[static_cast<std::size_t>(c)];
+  }
+  region.maxProcs = static_cast<int>(rng.range(1, totalProcs));
+  region.maxTasks = std::min(options.maxTasks, region.maxProcs);
+  region.taskCreationSeconds = rng.uniform(2e-6, 20e-6);
+  region.upperBoundSeconds = 0.0;
+  return region;
+}
+
+}  // namespace hetpar::verify

@@ -1,0 +1,61 @@
+// Exhaustive optimality oracle for tiny ILPPAR instances.
+//
+// The paper's claim is that ILPPAR returns the OPTIMAL partition/mapping per
+// hierarchical node. For instances small enough to enumerate (a handful of
+// children, one or two processor classes) that claim is directly checkable:
+// walk every (child-to-task, task-to-class, nested-candidate) assignment the
+// model admits — monotone task ids, budget-feasible — score each with the
+// shared cost evaluator, and compare the true minimum with the solver's
+// objective. The same idea validates the loop-chunking ILP against every
+// integer iteration split. (Pattern after Papp et al. 2025, who validate
+// their scheduling ILP against exhaustive baselines on small instances.)
+#pragma once
+
+#include <cstdint>
+
+#include "hetpar/parallel/ilppar_model.hpp"
+#include "hetpar/support/rng.hpp"
+
+namespace hetpar::verify {
+
+struct OracleResult {
+  /// False when no feasible assignment exists (then bestSeconds is
+  /// meaningless and the ILP must report infeasibility too).
+  bool feasible = false;
+  double bestSeconds = 0.0;
+  long long assignmentsTried = 0;
+  /// One argmin witness (task-model oracle only).
+  std::vector<int> childTask;
+  std::vector<platform::ClassId> taskClass;
+  std::vector<int> childPick;
+};
+
+/// Enumerates every admissible assignment of `region` (requires
+/// children <= 8, maxTasks <= 4, classes <= 3 to stay enumerable; throws
+/// otherwise). Scores with parallel::evaluateAssignment — the same evaluator
+/// the GA uses, itself cross-validated against the ILP objective.
+OracleResult bruteForceTask(const parallel::IlpRegion& region);
+
+/// Enumerates every task count, task-to-class mapping and integer iteration
+/// composition of `region` (requires iterations <= 64, maxTasks <= 4).
+OracleResult bruteForceChunk(const parallel::ChunkRegion& region);
+
+struct TinyRegionOptions {
+  int minChildren = 2;
+  int maxChildren = 6;
+  int maxClasses = 2;
+  int maxTasks = 3;
+  int maxCandidatesPerClass = 2;
+  double edgeProbability = 0.4;
+  double boundaryEdgeProbability = 0.3;
+};
+
+/// Random enumerable ILPPAR instance. Every class menu keeps one
+/// zero-extra-processor candidate, so the all-in-main assignment is always
+/// feasible and the oracle never degenerates to "everything infeasible".
+parallel::IlpRegion randomTinyRegion(Rng& rng, const TinyRegionOptions& options = {});
+
+/// Random enumerable loop-chunking instance (iterations <= 48).
+parallel::ChunkRegion randomTinyChunkRegion(Rng& rng, const TinyRegionOptions& options = {});
+
+}  // namespace hetpar::verify

@@ -1,0 +1,60 @@
+#include "hetpar/verify/reduce.hpp"
+
+#include <algorithm>
+
+#include "hetpar/support/error.hpp"
+
+namespace hetpar::verify {
+
+namespace {
+
+/// The complement of chunk partition `i` out of `n` equal slices.
+std::vector<std::string> withoutSlice(const std::vector<std::string>& chunks, int i, int n) {
+  const std::size_t total = chunks.size();
+  const std::size_t begin = total * static_cast<std::size_t>(i) / static_cast<std::size_t>(n);
+  const std::size_t end =
+      total * static_cast<std::size_t>(i + 1) / static_cast<std::size_t>(n);
+  std::vector<std::string> out;
+  out.reserve(total - (end - begin));
+  for (std::size_t k = 0; k < total; ++k)
+    if (k < begin || k >= end) out.push_back(chunks[k]);
+  return out;
+}
+
+}  // namespace
+
+ReduceResult reduceProgram(const GeneratedProgram& program, const FailurePredicate& failing) {
+  ReduceResult result;
+  result.program = program;
+  ++result.probes;
+  require(failing(program), "reduceProgram called on a passing input");
+
+  // Classic ddmin over the chunk list: try dropping ever finer slices; on
+  // success restart at coarse granularity, else refine until single-chunk
+  // granularity stops making progress.
+  int granularity = 2;
+  while (result.program.statements.size() >= 2) {
+    const int n =
+        std::min<int>(granularity, static_cast<int>(result.program.statements.size()));
+    bool shrunk = false;
+    for (int i = 0; i < n; ++i) {
+      std::vector<std::string> candidate =
+          withoutSlice(result.program.statements, i, n);
+      if (candidate.size() == result.program.statements.size()) continue;
+      const GeneratedProgram probe = result.program.withStatements(std::move(candidate));
+      ++result.probes;
+      if (failing(probe)) {
+        result.program = probe;
+        granularity = std::max(2, n - 1);
+        shrunk = true;
+        break;
+      }
+    }
+    if (shrunk) continue;
+    if (n >= static_cast<int>(result.program.statements.size())) break;
+    granularity = std::min<int>(2 * n, static_cast<int>(result.program.statements.size()));
+  }
+  return result;
+}
+
+}  // namespace hetpar::verify

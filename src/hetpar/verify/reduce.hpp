@@ -1,0 +1,29 @@
+// Delta-debugging shrinker for failing fuzz inputs (Zeller & Hildebrandt's
+// ddmin, TSE 2002), specialized to the chunked program generator: the unit
+// of removal is one independent top-level statement chunk, so every subset
+// the algorithm probes is again a valid program.
+#pragma once
+
+#include <functional>
+
+#include "hetpar/verify/generator.hpp"
+
+namespace hetpar::verify {
+
+/// Returns true when the program still exhibits the failure being chased.
+/// The predicate must treat a crash/throw of the system under test as
+/// "still failing" itself — the shrinker only sees the boolean.
+using FailurePredicate = std::function<bool(const GeneratedProgram&)>;
+
+struct ReduceResult {
+  GeneratedProgram program;  ///< 1-minimal over chunk removal
+  int probes = 0;            ///< predicate evaluations spent
+};
+
+/// Shrinks `program` to a chunk-set 1-minimal failing input: removing any
+/// single remaining chunk makes the failure disappear. `failing(program)`
+/// must be true on entry (throws hetpar::Error otherwise — a shrink request
+/// for a passing input is a harness bug).
+ReduceResult reduceProgram(const GeneratedProgram& program, const FailurePredicate& failing);
+
+}  // namespace hetpar::verify

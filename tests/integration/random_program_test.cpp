@@ -1,136 +1,26 @@
 // Property test over randomly generated (valid-by-construction) mini-C
 // programs: the whole pipeline — parse, print round-trip, sema, profiling
 // interpreter, HTG construction + validation — must hold for every seed.
+//
+// The generator lives in hetpar/verify/generator.hpp and is shared with the
+// differential fuzzer (tools/hetpar-fuzz): any program the fuzzer can
+// produce is also in this sweep's input space, seed for seed.
 #include <gtest/gtest.h>
-
-#include <sstream>
 
 #include "hetpar/frontend/parser.hpp"
 #include "hetpar/frontend/printer.hpp"
 #include "hetpar/htg/builder.hpp"
 #include "hetpar/htg/validate.hpp"
-#include "hetpar/support/rng.hpp"
+#include "hetpar/verify/generator.hpp"
 
 namespace hetpar {
 namespace {
 
-/// Emits a random structured program: a few global arrays, nested loops,
-/// ifs, reductions, and helper-function calls. All indices stay in bounds
-/// and all loops terminate by construction.
-class ProgramGen {
- public:
-  explicit ProgramGen(std::uint64_t seed) : rng_(seed) {}
-
-  std::string generate() {
-    os_ << "int ga[32];\nint gb[32];\nint gc[32];\n";
-    os_ << "int helper(int v) { return v * 3 + 1; }\n";
-    os_ << "void fill(int dst[32], int base) {\n"
-           "  for (int i = 0; i < 32; i = i + 1) { dst[i] = base + i; }\n"
-           "}\n";
-    os_ << "int main() {\n";
-    os_ << "  fill(ga, " << rng_.range(1, 9) << ");\n";
-    os_ << "  fill(gb, " << rng_.range(1, 9) << ");\n";
-    const int stmts = static_cast<int>(rng_.range(2, 6));
-    for (int i = 0; i < stmts; ++i) statement(2);
-    os_ << "  int acc = 0;\n";
-    os_ << "  for (int i = 0; i < 32; i = i + 1) { acc = acc + ga[i] + gb[i] + gc[i]; }\n";
-    os_ << "  return acc + 1;\n";  // +1 keeps the checksum nonzero
-    os_ << "}\n";
-    return os_.str();
-  }
-
- private:
-  void indent(int depth) {
-    for (int i = 0; i < depth; ++i) os_ << "  ";
-  }
-
-  std::string array() {
-    switch (rng_.below(3)) {
-      case 0: return "ga";
-      case 1: return "gb";
-      default: return "gc";
-    }
-  }
-
-  std::string expr(const std::string& iv) {
-    std::ostringstream e;
-    switch (rng_.below(5)) {
-      case 0: e << rng_.range(1, 20); break;
-      case 1: e << array() << "[" << iv << "]"; break;
-      case 2: e << iv << " * " << rng_.range(1, 4); break;
-      case 3: e << "helper(" << iv << ")"; break;
-      default:
-        e << array() << "[" << iv << "] + " << rng_.range(0, 8);
-        break;
-    }
-    return e.str();
-  }
-
-  void statement(int depth) {
-    if (depth > 4) return;
-    switch (rng_.below(4)) {
-      case 0: {  // elementwise loop
-        const std::string iv = "i" + std::to_string(counter_++);
-        indent(depth);
-        os_ << "for (int " << iv << " = 0; " << iv << " < 32; " << iv << " = " << iv
-            << " + 1) {\n";
-        indent(depth + 1);
-        os_ << array() << "[" << iv << "] = " << expr(iv) << ";\n";
-        if (rng_.chance(0.4)) statementInLoop(depth + 1, iv);
-        indent(depth);
-        os_ << "}\n";
-        break;
-      }
-      case 1: {  // conditional scalar update
-        const std::string v = "t" + std::to_string(counter_++);
-        indent(depth);
-        os_ << "int " << v << " = " << rng_.range(0, 30) << ";\n";
-        indent(depth);
-        os_ << "if (" << v << " > " << rng_.range(0, 30) << ") { " << v << " = " << v
-            << " + 1; } else { " << v << " = " << v << " - 1; }\n";
-        indent(depth);
-        os_ << "gc[" << rng_.range(0, 31) << "] = " << v << ";\n";
-        break;
-      }
-      case 2: {  // while countdown
-        const std::string v = "w" + std::to_string(counter_++);
-        indent(depth);
-        os_ << "int " << v << " = " << rng_.range(1, 6) << ";\n";
-        indent(depth);
-        os_ << "while (" << v << " > 0) { gc[" << v << "] = gc[" << v << "] + 1; " << v
-            << " = " << v << " - 1; }\n";
-        break;
-      }
-      default: {  // reduction loop
-        const std::string s = "r" + std::to_string(counter_++);
-        const std::string iv = "i" + std::to_string(counter_++);
-        indent(depth);
-        os_ << "int " << s << " = 0;\n";
-        indent(depth);
-        os_ << "for (int " << iv << " = 0; " << iv << " < 32; " << iv << " = " << iv
-            << " + 1) { " << s << " = " << s << " + " << array() << "[" << iv << "]; }\n";
-        indent(depth);
-        os_ << "gc[0] = " << s << " % 97;\n";
-        break;
-      }
-    }
-  }
-
-  void statementInLoop(int depth, const std::string& iv) {
-    indent(depth);
-    os_ << "if (" << iv << " % 2 == 0) { " << array() << "[" << iv << "] = " << iv
-        << "; }\n";
-  }
-
-  Rng rng_;
-  std::ostringstream os_;
-  int counter_ = 0;
-};
-
 class RandomProgramSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(RandomProgramSweep, PipelineHolds) {
-  const std::string src = ProgramGen(static_cast<std::uint64_t>(GetParam()) * 48611 + 5).generate();
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) * 48611 + 5;
+  const std::string src = verify::generateProgram(seed).render();
 
   // Parse and print round-trip: the printed form re-parses and re-prints
   // identically (printer fixpoint).

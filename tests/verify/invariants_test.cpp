@@ -1,0 +1,186 @@
+// The invariant checker is the harness's wrong-answer detector: a clean
+// pipeline run must pass, and seeded defects — wrong cost, wrong processor
+// accounting, broken structure — must each trip at least one check. The
+// mutation tests double as the acceptance criterion that an injected
+// cost-model bug is caught.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hetpar/cost/timing.hpp"
+#include "hetpar/htg/builder.hpp"
+#include "hetpar/parallel/parallelizer.hpp"
+#include "hetpar/verify/invariants.hpp"
+#include "hetpar/verify/metamorphic.hpp"
+
+namespace hetpar {
+namespace {
+
+// Three independent fill loops followed by a reduction: enough exposed
+// task- and loop-level parallelism that the solver emits TaskParallel and
+// LoopChunked candidates on a two-class platform with a cheap TCO.
+constexpr const char* kSource = R"(
+int ga[512];
+int gb[512];
+int gc[512];
+int main() {
+  for (int i = 0; i < 512; i = i + 1) { ga[i] = i * 3 + 1; }
+  for (int j = 0; j < 512; j = j + 1) { gb[j] = j * 5 + 2; }
+  for (int k = 0; k < 512; k = k + 1) { gc[k] = k * 7 + 3; }
+  int acc = 0;
+  for (int m = 0; m < 512; m = m + 1) { acc = acc + ga[m] + gb[m] + gc[m]; }
+  return acc + 1;
+}
+)";
+
+platform::Platform makePlatform() {
+  platform::ProcessorClass big;
+  big.name = "big";
+  big.frequencyMHz = 400.0;
+  big.count = 2;
+  platform::ProcessorClass little;
+  little.name = "little";
+  little.frequencyMHz = 200.0;
+  little.count = 2;
+  return platform::Platform("invtest", {big, little}, platform::Interconnect{},
+                            /*taskCreationOverheadSeconds=*/1.5e-6);
+}
+
+class InvariantsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bundle_ = new htg::FrontendBundle(htg::buildFromSource(kSource));
+    pf_ = new platform::Platform(makePlatform());
+    timing_ = new cost::TimingModel(*pf_);
+    parallel::Parallelizer par(bundle_->graph, *timing_,
+                               verify::MetamorphicOptions::deterministicOptions());
+    outcome_ = new parallel::ParallelizeOutcome(par.run());
+  }
+  static void TearDownTestSuite() {
+    delete outcome_;
+    delete timing_;
+    delete pf_;
+    delete bundle_;
+    outcome_ = nullptr;
+    timing_ = nullptr;
+    pf_ = nullptr;
+    bundle_ = nullptr;
+  }
+
+  /// First candidate of the requested kind with at least `minTasks` tasks
+  /// ({kNoNode, -1} if absent).
+  static std::pair<htg::NodeId, int> findKind(const parallel::SolutionTable& table,
+                                              parallel::SolutionKind kind,
+                                              int minTasks = 0) {
+    for (const auto& [node, set] : table)
+      for (std::size_t i = 0; i < set.size(); ++i) {
+        const parallel::SolutionCandidate& cand = set.at(static_cast<int>(i));
+        if (cand.kind == kind && cand.numTasks() >= minTasks)
+          return {node, static_cast<int>(i)};
+      }
+    return {htg::kNoNode, -1};
+  }
+
+  static htg::FrontendBundle* bundle_;
+  static platform::Platform* pf_;
+  static cost::TimingModel* timing_;
+  static parallel::ParallelizeOutcome* outcome_;
+};
+
+htg::FrontendBundle* InvariantsTest::bundle_ = nullptr;
+platform::Platform* InvariantsTest::pf_ = nullptr;
+cost::TimingModel* InvariantsTest::timing_ = nullptr;
+parallel::ParallelizeOutcome* InvariantsTest::outcome_ = nullptr;
+
+TEST_F(InvariantsTest, CleanRunPasses) {
+  const auto problems =
+      verify::checkSolutionTable(bundle_->graph, *timing_, outcome_->table);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST_F(InvariantsTest, PipelineExtractsParallelCandidates) {
+  // Guard against vacuity: if everything degenerates to Sequential the
+  // mutation tests below would test nothing interesting.
+  EXPECT_NE(findKind(outcome_->table, parallel::SolutionKind::TaskParallel).second, -1);
+  EXPECT_NE(findKind(outcome_->table, parallel::SolutionKind::LoopChunked).second, -1);
+}
+
+TEST_F(InvariantsTest, CatchesCostUnderclaim) {
+  // The classic cost-model bug: the tool claims a faster time than the
+  // mapping achieves (e.g. a dropped TCO or comm charge).
+  auto [node, index] = findKind(outcome_->table, parallel::SolutionKind::TaskParallel);
+  ASSERT_NE(index, -1);
+  parallel::SolutionTable mutated = outcome_->table;
+  mutated.at(node).at(index).timeSeconds *= 0.5;
+  EXPECT_FALSE(verify::checkSolutionTable(bundle_->graph, *timing_, mutated).empty());
+}
+
+TEST_F(InvariantsTest, CatchesCostOverclaim) {
+  auto [node, index] = findKind(outcome_->table, parallel::SolutionKind::LoopChunked);
+  ASSERT_NE(index, -1);
+  parallel::SolutionTable mutated = outcome_->table;
+  mutated.at(node).at(index).timeSeconds *= 2.0;
+  EXPECT_FALSE(verify::checkSolutionTable(bundle_->graph, *timing_, mutated).empty());
+}
+
+TEST_F(InvariantsTest, CatchesDroppedTcoCharge) {
+  // Subtract exactly one task-creation overhead from a multi-task
+  // candidate's claim — the kind of off-by-one a refactor of Eq 8 invites.
+  auto [node, index] =
+      findKind(outcome_->table, parallel::SolutionKind::TaskParallel, /*minTasks=*/2);
+  ASSERT_NE(index, -1);
+  parallel::SolutionTable mutated = outcome_->table;
+  mutated.at(node).at(index).timeSeconds -= timing_->taskCreationSeconds();
+  EXPECT_FALSE(verify::checkSolutionTable(bundle_->graph, *timing_, mutated).empty());
+}
+
+TEST_F(InvariantsTest, CatchesProcessorAccountingDrift) {
+  auto [node, index] = findKind(outcome_->table, parallel::SolutionKind::TaskParallel);
+  ASSERT_NE(index, -1);
+  parallel::SolutionTable mutated = outcome_->table;
+  mutated.at(node).at(index).extraProcs[0] += 1;
+  EXPECT_FALSE(verify::checkSolutionTable(bundle_->graph, *timing_, mutated).empty());
+}
+
+TEST_F(InvariantsTest, CatchesMainClassMismatch) {
+  auto [node, index] = findKind(outcome_->table, parallel::SolutionKind::TaskParallel);
+  ASSERT_NE(index, -1);
+  parallel::SolutionTable mutated = outcome_->table;
+  parallel::SolutionCandidate& cand = mutated.at(node).at(index);
+  ASSERT_FALSE(cand.taskClass.empty());
+  cand.taskClass[0] = cand.taskClass[0] == 0 ? 1 : 0;  // != mainClass now
+  EXPECT_FALSE(verify::checkSolutionTable(bundle_->graph, *timing_, mutated).empty());
+}
+
+TEST_F(InvariantsTest, CatchesDanglingChildChoice) {
+  auto [node, index] = findKind(outcome_->table, parallel::SolutionKind::TaskParallel);
+  ASSERT_NE(index, -1);
+  parallel::SolutionTable mutated = outcome_->table;
+  parallel::SolutionCandidate& cand = mutated.at(node).at(index);
+  ASSERT_FALSE(cand.childChoice.empty());
+  cand.childChoice[0].index = 9999;
+  EXPECT_FALSE(verify::checkSolutionTable(bundle_->graph, *timing_, mutated).empty());
+}
+
+TEST_F(InvariantsTest, CatchesChunkIterationLoss) {
+  // A chunked candidate that silently drops iterations claims impossible
+  // speedups; the checker re-derives the per-task load.
+  auto [node, index] = findKind(outcome_->table, parallel::SolutionKind::LoopChunked);
+  ASSERT_NE(index, -1);
+  parallel::SolutionTable mutated = outcome_->table;
+  parallel::SolutionCandidate& cand = mutated.at(node).at(index);
+  ASSERT_FALSE(cand.chunkIterations.empty());
+  cand.chunkIterations[0] = cand.chunkIterations[0] * 0.5;
+  EXPECT_FALSE(verify::checkSolutionTable(bundle_->graph, *timing_, mutated).empty());
+}
+
+TEST_F(InvariantsTest, CatchesSequentialCostTampering) {
+  auto [node, index] = findKind(outcome_->table, parallel::SolutionKind::Sequential);
+  ASSERT_NE(index, -1);
+  parallel::SolutionTable mutated = outcome_->table;
+  mutated.at(node).at(index).timeSeconds *= 0.9;
+  EXPECT_FALSE(verify::checkSolutionTable(bundle_->graph, *timing_, mutated).empty());
+}
+
+}  // namespace
+}  // namespace hetpar

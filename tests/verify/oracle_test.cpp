@@ -1,0 +1,124 @@
+// Differential optimality check: on enumerable instances, the ILPPAR solver
+// and the loop-chunking ILP must match an exhaustive brute-force oracle
+// exactly (up to the documented per-task tie-break). This is the direct test
+// of the paper's optimality claim — run over well beyond 100 random regions
+// (the acceptance floor), with a vacuity guard that a healthy share of the
+// optima actually open extra tasks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "hetpar/ilp/branch_and_bound.hpp"
+#include "hetpar/parallel/genetic.hpp"
+#include "hetpar/parallel/ilppar_model.hpp"
+#include "hetpar/support/error.hpp"
+#include "hetpar/support/rng.hpp"
+#include "hetpar/verify/oracle.hpp"
+
+namespace hetpar {
+namespace {
+
+ilp::SolveOptions solverOptions() {
+  ilp::SolveOptions so;
+  so.timeLimitSeconds = 1e9;  // node-capped only: deterministic
+  so.maxNodes = 2'000'000;
+  return so;
+}
+
+/// The ILP objective carries a 1e-4 us tie-break per opened task, so two
+/// independently derived optima agree only up to a tiny slack.
+bool closeEnough(double a, double b) {
+  const double tol = 1e-6 * std::max(std::abs(a), std::abs(b)) + 1e-9;
+  return std::abs(a - b) <= tol;
+}
+
+TEST(OracleTest, IlpParMatchesBruteForceOnRandomTinyRegions) {
+  constexpr int kRegions = 120;
+  Rng rng(0xacc01adeULL);
+  int multiTask = 0;
+  for (int i = 0; i < kRegions; ++i) {
+    const parallel::IlpRegion region = verify::randomTinyRegion(rng);
+    const verify::OracleResult oracle = verify::bruteForceTask(region);
+    ilp::BranchAndBoundSolver solver(solverOptions());
+    const parallel::IlpParResult ilpResult = parallel::solveIlpPar(region, solver);
+
+    ASSERT_TRUE(ilpResult.provenOptimal) << "region " << i;
+    ASSERT_EQ(ilpResult.feasible, oracle.feasible) << "region " << i;
+    if (!oracle.feasible) continue;
+    EXPECT_TRUE(closeEnough(ilpResult.timeSeconds, oracle.bestSeconds))
+        << "region " << i << ": ilp " << ilpResult.timeSeconds << " s vs oracle "
+        << oracle.bestSeconds << " s over " << oracle.assignmentsTried << " assignments";
+    if (static_cast<int>(ilpResult.taskClass.size()) > 1) ++multiTask;
+  }
+  // Vacuity guard: if the optimum were always "everything in the main task"
+  // the comparison would prove nothing about the interesting constraints.
+  EXPECT_GE(multiTask, kRegions / 10) << "only " << multiTask << " multi-task optima";
+}
+
+TEST(OracleTest, OracleWitnessScoresAtItsClaimedCost) {
+  // The oracle's argmin witness must evaluate to its own reported optimum
+  // through the shared evaluator — guards the enumerator against recording
+  // a stale witness.
+  Rng rng(77);
+  for (int i = 0; i < 40; ++i) {
+    const parallel::IlpRegion region = verify::randomTinyRegion(rng);
+    const verify::OracleResult oracle = verify::bruteForceTask(region);
+    if (!oracle.feasible) continue;
+    const double witness = parallel::evaluateAssignment(region, oracle.childTask,
+                                                        oracle.taskClass, oracle.childPick);
+    EXPECT_TRUE(closeEnough(witness, oracle.bestSeconds))
+        << "region " << i << ": witness " << witness << " vs " << oracle.bestSeconds;
+  }
+}
+
+TEST(OracleTest, GaNeverBeatsBruteForceOptimum) {
+  Rng rng(0xbeefULL);
+  for (int i = 0; i < 30; ++i) {
+    const parallel::IlpRegion region = verify::randomTinyRegion(rng);
+    const verify::OracleResult oracle = verify::bruteForceTask(region);
+    if (!oracle.feasible) continue;
+    parallel::GaOptions ga;
+    ga.seed = 0x5eedULL + static_cast<std::uint64_t>(i);
+    const parallel::IlpParResult evolved = parallel::solveGaPar(region, ga);
+    if (!evolved.feasible) continue;
+    EXPECT_GE(evolved.timeSeconds, oracle.bestSeconds - 1e-9)
+        << "region " << i << ": GA " << evolved.timeSeconds << " s beat the optimum "
+        << oracle.bestSeconds << " s";
+  }
+}
+
+TEST(OracleTest, ChunkIlpMatchesBruteForceOnRandomTinyLoops) {
+  constexpr int kRegions = 120;
+  Rng rng(0xc0ffeeULL);
+  int multiTask = 0;
+  for (int i = 0; i < kRegions; ++i) {
+    const parallel::ChunkRegion region = verify::randomTinyChunkRegion(rng);
+    const verify::OracleResult oracle = verify::bruteForceChunk(region);
+    ilp::BranchAndBoundSolver solver(solverOptions());
+    const parallel::ChunkResult ilpResult = parallel::solveChunkIlp(region, solver);
+
+    ASSERT_TRUE(ilpResult.provenOptimal) << "region " << i;
+    ASSERT_EQ(ilpResult.feasible, oracle.feasible) << "region " << i;
+    if (!oracle.feasible) continue;
+    EXPECT_TRUE(closeEnough(ilpResult.timeSeconds, oracle.bestSeconds))
+        << "region " << i << ": chunk ilp " << ilpResult.timeSeconds << " s vs oracle "
+        << oracle.bestSeconds << " s over " << oracle.assignmentsTried << " splits";
+    if (static_cast<int>(ilpResult.taskClass.size()) > 1) ++multiTask;
+  }
+  EXPECT_GE(multiTask, kRegions / 10) << "only " << multiTask << " multi-task optima";
+}
+
+TEST(OracleTest, BruteForceRejectsUnenumerableRegions) {
+  Rng rng(1);
+  parallel::IlpRegion region = verify::randomTinyRegion(rng);
+  region.children.resize(20, region.children.front());  // way past the cap
+  EXPECT_THROW(verify::bruteForceTask(region), Error);
+
+  parallel::ChunkRegion loop = verify::randomTinyChunkRegion(rng);
+  loop.iterations = 1'000'000;
+  EXPECT_THROW(verify::bruteForceChunk(loop), Error);
+}
+
+}  // namespace
+}  // namespace hetpar

@@ -1,0 +1,89 @@
+// ddmin shrinker: drives it with synthetic predicates whose minimal failing
+// chunk sets are known exactly, so 1-minimality is checkable, plus the
+// contract checks (passing input rejected, probe accounting sane).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hetpar/support/error.hpp"
+#include "hetpar/verify/generator.hpp"
+#include "hetpar/verify/reduce.hpp"
+
+namespace hetpar {
+namespace {
+
+verify::GeneratedProgram programWithChunks(std::vector<std::string> chunks) {
+  verify::GeneratedProgram p = verify::generateProgram(1);
+  return p.withStatements(std::move(chunks));
+}
+
+bool contains(const std::vector<std::string>& haystack, const std::string& needle) {
+  return std::find(haystack.begin(), haystack.end(), needle) != haystack.end();
+}
+
+TEST(ReduceTest, ShrinksToSingleCulpritChunk) {
+  const verify::GeneratedProgram input = programWithChunks(
+      {"  ga[0] = 1;\n", "  ga[1] = 2;\n", "  gc[0] = 99;\n", "  gb[2] = 3;\n",
+       "  gb[3] = 4;\n", "  ga[4] = 5;\n"});
+  int calls = 0;
+  const verify::FailurePredicate failsOnMarker = [&](const verify::GeneratedProgram& p) {
+    ++calls;
+    return contains(p.statements, "  gc[0] = 99;\n");
+  };
+  const verify::ReduceResult result = verify::reduceProgram(input, failsOnMarker);
+  ASSERT_EQ(result.program.statements.size(), 1u);
+  EXPECT_EQ(result.program.statements[0], "  gc[0] = 99;\n");
+  EXPECT_LE(result.probes, calls);  // probe accounting never exceeds calls
+  EXPECT_GT(result.probes, 0);
+}
+
+TEST(ReduceTest, ShrinksToMinimalPair) {
+  // Failure needs BOTH markers: the 1-minimal result is exactly the pair
+  // (removing either one makes the failure vanish).
+  const verify::GeneratedProgram input = programWithChunks(
+      {"  ga[0] = 1;\n", "  gc[0] = 7;\n", "  gb[1] = 2;\n", "  gc[1] = 8;\n",
+       "  gb[2] = 3;\n"});
+  const verify::FailurePredicate needsBoth = [](const verify::GeneratedProgram& p) {
+    return contains(p.statements, "  gc[0] = 7;\n") &&
+           contains(p.statements, "  gc[1] = 8;\n");
+  };
+  const verify::ReduceResult result = verify::reduceProgram(input, needsBoth);
+  ASSERT_EQ(result.program.statements.size(), 2u);
+  EXPECT_TRUE(contains(result.program.statements, "  gc[0] = 7;\n"));
+  EXPECT_TRUE(contains(result.program.statements, "  gc[1] = 8;\n"));
+}
+
+TEST(ReduceTest, ResultStillRendersValidProgram) {
+  const verify::GeneratedProgram input = verify::generateProgram(23);
+  ASSERT_GE(input.statements.size(), 2u);
+  const std::string marker = input.statements.front();
+  const verify::FailurePredicate failsOnMarker = [&](const verify::GeneratedProgram& p) {
+    return contains(p.statements, marker);
+  };
+  const verify::ReduceResult result = verify::reduceProgram(input, failsOnMarker);
+  EXPECT_EQ(result.program.statements.size(), 1u);
+  // Rendered shrunk program keeps the prologue/epilogue scaffolding.
+  EXPECT_NE(result.program.render().find("int main()"), std::string::npos);
+}
+
+TEST(ReduceTest, AlwaysFailingInputShrinksToAtMostOneChunk) {
+  // Classic ddmin stops once no single removal keeps the failure, so an
+  // always-failing input bottoms out at one chunk (it never probes empty).
+  const verify::GeneratedProgram input = verify::generateProgram(4);
+  const verify::FailurePredicate alwaysFails = [](const verify::GeneratedProgram&) {
+    return true;
+  };
+  const verify::ReduceResult result = verify::reduceProgram(input, alwaysFails);
+  EXPECT_LE(result.program.statements.size(), 1u);
+}
+
+TEST(ReduceTest, RejectsPassingInput) {
+  const verify::GeneratedProgram input = verify::generateProgram(4);
+  const verify::FailurePredicate neverFails = [](const verify::GeneratedProgram&) {
+    return false;
+  };
+  EXPECT_THROW(verify::reduceProgram(input, neverFails), Error);
+}
+
+}  // namespace
+}  // namespace hetpar
