@@ -223,7 +223,8 @@ class Builder {
     parent.commOut = commOutId;
 
     // Dependences among siblings.
-    for (const ir::DepEdge& d : ir::computeSiblingDeps(stmts, in_.defuse, scope)) {
+    for (const ir::DepEdge& d :
+         ir::computeSiblingDeps(stmts, in_.defuse, scope, in_.dependence)) {
       Edge e;
       e.from = childIds[static_cast<std::size_t>(d.from)];
       e.to = childIds[static_cast<std::size_t>(d.to)];
@@ -233,7 +234,8 @@ class Builder {
       parent.edges.push_back(std::move(e));
     }
     // Boundary flows through the comm nodes.
-    const ir::RegionFlow flow = ir::computeRegionFlow(stmts, in_.defuse, scope);
+    const ir::RegionFlow flow =
+        ir::computeRegionFlow(stmts, in_.defuse, scope, in_.dependence);
     for (std::size_t i = 0; i < stmts.size(); ++i) {
       long long inBytes = 0;
       std::vector<std::string> inVars;
@@ -288,13 +290,18 @@ class Builder {
 
 Graph buildGraph(const BuildInputs& in) { return Builder(in).build(); }
 
-FrontendBundle buildFromSource(std::string_view source) {
+FrontendBundle buildFromSource(std::string_view source, ir::DependenceMode mode) {
   FrontendBundle bundle;
   bundle.program = parseProgram(source);
   bundle.sema = analyze(bundle.program);
   bundle.defuse = std::make_unique<ir::DefUseAnalysis>(bundle.program, bundle.sema);
+  bundle.sections = std::make_unique<ir::SectionAnalysis>(bundle.program, bundle.sema);
   bundle.profile = cost::interpret(bundle.program, bundle.sema);
-  bundle.graph = buildGraph({bundle.program, bundle.sema, *bundle.defuse, bundle.profile});
+  ir::DependenceOptions dep;
+  dep.mode = mode;
+  dep.sections = bundle.sections.get();
+  bundle.graph =
+      buildGraph({bundle.program, bundle.sema, *bundle.defuse, bundle.profile, dep});
   return bundle;
 }
 

@@ -14,6 +14,10 @@ struct BuildInputs {
   const frontend::SemaResult& sema;
   const ir::DefUseAnalysis& defuse;
   const cost::ProgramProfile& profile;
+  /// Dependence mode for region edges and comm payloads. The default
+  /// (conservative, name-based) reproduces the historical whole-object
+  /// graphs bit for bit; Affine requires `dependence.sections`.
+  ir::DependenceOptions dependence;
 };
 
 /// Builds the HTG rooted at main()'s body. Whole-statement calls expand into
@@ -29,10 +33,12 @@ struct FrontendBundle {
   frontend::Program program;
   frontend::SemaResult sema;
   std::unique_ptr<ir::DefUseAnalysis> defuse;
+  std::unique_ptr<ir::SectionAnalysis> sections;  ///< always built (for dumps)
   cost::ProgramProfile profile;
   Graph graph;
 };
 
-FrontendBundle buildFromSource(std::string_view source);
+FrontendBundle buildFromSource(std::string_view source,
+                               ir::DependenceMode mode = ir::DependenceMode::Conservative);
 
 }  // namespace hetpar::htg

@@ -17,7 +17,8 @@ std::string escape(const std::string& s) {
   return out;
 }
 
-void emitNode(std::ostringstream& os, const Graph& g, NodeId id, int depth) {
+void emitNode(std::ostringstream& os, const Graph& g, NodeId id, int depth,
+              const Graph* baseline) {
   const Node& n = g.node(id);
   const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
   if (!n.isHierarchical()) {
@@ -34,7 +35,7 @@ void emitNode(std::ostringstream& os, const Graph& g, NodeId id, int depth) {
   os << "\";\n";
   os << indent << "  n" << n.commIn << " [label=\"comm-in\", shape=ellipse];\n";
   os << indent << "  n" << n.commOut << " [label=\"comm-out\", shape=ellipse];\n";
-  for (NodeId c : n.children) emitNode(os, g, c, depth + 1);
+  for (NodeId c : n.children) emitNode(os, g, c, depth + 1, baseline);
   for (const Edge& e : n.edges) {
     os << indent << "  n" << e.from << " -> n" << e.to;
     os << " [label=\"";
@@ -44,18 +45,40 @@ void emitNode(std::ostringstream& os, const Graph& g, NodeId id, int depth) {
     if (e.kind != ir::DepKind::Flow) os << ", style=dashed";
     os << "];\n";
   }
+  if (baseline != nullptr) {
+    // Baseline edges this graph dropped: what the affine analysis pruned.
+    const Node& bn = baseline->node(id);
+    for (const Edge& be : bn.edges) {
+      bool kept = false;
+      for (const Edge& e : n.edges)
+        if (e.from == be.from && e.to == be.to && e.kind == be.kind) {
+          kept = true;
+          break;
+        }
+      if (kept) continue;
+      os << indent << "  n" << be.from << " -> n" << be.to << " [label=\"pruned";
+      if (be.kind == ir::DepKind::Flow) os << " " << be.bytes << "B";
+      os << "\", style=dotted, color=grey, fontcolor=grey];\n";
+    }
+  }
   os << indent << "}\n";
+}
+
+std::string render(const Graph& graph, const Graph* baseline) {
+  std::ostringstream os;
+  os << "digraph htg {\n";
+  os << "  rankdir=TB;\n  node [fontsize=10];\n";
+  if (graph.root() != kNoNode) emitNode(os, graph, graph.root(), 1, baseline);
+  os << "}\n";
+  return os.str();
 }
 
 }  // namespace
 
-std::string toDot(const Graph& graph) {
-  std::ostringstream os;
-  os << "digraph htg {\n";
-  os << "  rankdir=TB;\n  node [fontsize=10];\n";
-  if (graph.root() != kNoNode) emitNode(os, graph, graph.root(), 1);
-  os << "}\n";
-  return os.str();
+std::string toDot(const Graph& graph) { return render(graph, nullptr); }
+
+std::string toDotWithBaseline(const Graph& graph, const Graph& baseline) {
+  return render(graph, &baseline);
 }
 
 }  // namespace hetpar::htg

@@ -13,4 +13,10 @@ namespace hetpar::htg {
 /// with byte counts.
 std::string toDot(const Graph& graph);
 
+/// Like toDot, but overlays the edges a `baseline` graph (same program,
+/// built in conservative dependence mode) has and `graph` does not: they
+/// render grey/dotted with a "pruned" label, visualizing what the affine
+/// analysis removed. Both graphs must share the node structure.
+std::string toDotWithBaseline(const Graph& graph, const Graph& baseline);
+
 }  // namespace hetpar::htg

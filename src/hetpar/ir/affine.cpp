@@ -1,0 +1,140 @@
+#include "hetpar/ir/affine.hpp"
+
+#include "hetpar/ir/tripcount.hpp"
+
+namespace hetpar::ir {
+
+using frontend::AssignStmt;
+using frontend::BinaryExpr;
+using frontend::BinaryOp;
+using frontend::DeclStmt;
+using frontend::Expr;
+using frontend::ExprKind;
+using frontend::ForStmt;
+using frontend::StmtKind;
+using frontend::UnaryExpr;
+using frontend::UnaryOp;
+using frontend::VarRef;
+
+namespace {
+
+/// (variable, start value) of the loop init; mirrors the canonical shapes
+/// staticTripCount accepts.
+std::optional<std::pair<std::string, long long>> canonicalInit(const ForStmt& loop) {
+  if (!loop.init) return std::nullopt;
+  if (loop.init->kind == StmtKind::Decl) {
+    const auto& d = static_cast<const DeclStmt&>(*loop.init);
+    if (!d.init) return std::nullopt;
+    auto v = evalConstInt(*d.init);
+    if (!v) return std::nullopt;
+    return std::make_pair(d.name, *v);
+  }
+  if (loop.init->kind == StmtKind::Assign) {
+    const auto& a = static_cast<const AssignStmt&>(*loop.init);
+    if (!a.indices.empty()) return std::nullopt;
+    auto v = evalConstInt(*a.value);
+    if (!v) return std::nullopt;
+    return std::make_pair(a.target, *v);
+  }
+  return std::nullopt;
+}
+
+/// The constant step of `var = var +/- c`.
+std::optional<long long> canonicalStep(const ForStmt& loop, const std::string& var) {
+  if (!loop.step || loop.step->kind != StmtKind::Assign) return std::nullopt;
+  const auto& a = static_cast<const AssignStmt&>(*loop.step);
+  if (a.target != var || !a.indices.empty()) return std::nullopt;
+  if (a.value->kind != ExprKind::Binary) return std::nullopt;
+  const auto& b = static_cast<const BinaryExpr&>(*a.value);
+  if (b.lhs->kind != ExprKind::VarRef || static_cast<const VarRef&>(*b.lhs).name != var)
+    return std::nullopt;
+  auto c = evalConstInt(*b.rhs);
+  if (!c) return std::nullopt;
+  if (b.op == BinaryOp::Add) return *c;
+  if (b.op == BinaryOp::Sub) return -*c;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::pair<std::string, IvRange>> ivRangeOf(const ForStmt& loop) {
+  const auto trip = staticTripCount(loop);
+  if (!trip || *trip <= 0) return std::nullopt;
+  const auto init = canonicalInit(loop);
+  if (!init) return std::nullopt;
+  const auto step = canonicalStep(loop, init->first);
+  if (!step || *step == 0) return std::nullopt;
+  IvRange range;
+  range.first = init->second;
+  range.step = *step;
+  range.last = init->second + (*trip - 1) * *step;
+  return std::make_pair(init->first, range);
+}
+
+std::optional<AffineForm> liftAffine(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::IntLit:
+      return AffineForm{static_cast<const frontend::IntLit&>(expr).value, 0, ""};
+    case ExprKind::VarRef:
+      return AffineForm{0, 1, static_cast<const VarRef&>(expr).name};
+    case ExprKind::Unary: {
+      const auto& e = static_cast<const UnaryExpr&>(expr);
+      if (e.op != UnaryOp::Neg) return std::nullopt;
+      auto f = liftAffine(*e.operand);
+      if (!f) return std::nullopt;
+      return AffineForm{-f->c0, -f->c1, f->c1 == 0 ? std::string() : f->iv};
+    }
+    case ExprKind::Binary: {
+      const auto& e = static_cast<const BinaryExpr&>(expr);
+      auto l = liftAffine(*e.lhs);
+      auto r = liftAffine(*e.rhs);
+      if (!l || !r) return std::nullopt;
+      switch (e.op) {
+        case BinaryOp::Add:
+        case BinaryOp::Sub: {
+          const long long sign = e.op == BinaryOp::Add ? 1 : -1;
+          AffineForm out;
+          out.c0 = l->c0 + sign * r->c0;
+          if (l->isConstant()) {
+            out.c1 = sign * r->c1;
+            out.iv = r->iv;
+          } else if (r->isConstant()) {
+            out.c1 = l->c1;
+            out.iv = l->iv;
+          } else if (l->iv == r->iv) {
+            out.c1 = l->c1 + sign * r->c1;
+            out.iv = l->iv;
+          } else {
+            return std::nullopt;  // two distinct variables
+          }
+          if (out.c1 == 0) out.iv.clear();
+          return out;
+        }
+        case BinaryOp::Mul: {
+          const AffineForm* var = nullptr;
+          const AffineForm* cst = nullptr;
+          if (l->isConstant()) {
+            cst = &*l;
+            var = &*r;
+          } else if (r->isConstant()) {
+            cst = &*r;
+            var = &*l;
+          } else {
+            return std::nullopt;  // iv * iv is not affine
+          }
+          AffineForm out;
+          out.c0 = var->c0 * cst->c0;
+          out.c1 = var->c1 * cst->c0;
+          out.iv = out.c1 == 0 ? std::string() : var->iv;
+          return out;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace hetpar::ir

@@ -1,0 +1,52 @@
+// Affine-index recognition for array subscripts.
+//
+// The section analysis (ir/sections.hpp) needs subscript expressions in the
+// canonical form `c0 + c1 * iv` over a single enclosing loop induction
+// variable, plus the value range that variable sweeps. Both pieces reuse the
+// canonical-loop machinery from ir/tripcount: only loops whose trip count is
+// statically known yield usable IV ranges, everything else falls back to the
+// conservative whole-object treatment.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "hetpar/frontend/ast.hpp"
+
+namespace hetpar::ir {
+
+/// Values swept by a canonical loop's induction variable: `first`,
+/// `first + step`, ..., `last` (inclusive; `step` keeps the loop's sign,
+/// so decreasing loops have `last < first`). Empty loops (trip count 0)
+/// yield nullopt.
+struct IvRange {
+  long long first = 0;
+  long long last = 0;
+  long long step = 1;
+
+  long long lo() const { return first < last ? first : last; }
+  long long hi() const { return first < last ? last : first; }
+};
+
+/// IV name + range of `for (i = c0; i REL c1; i = i +/- c2) ...`; nullopt
+/// when the loop is not canonical, has an unknown trip count, or runs zero
+/// iterations.
+std::optional<std::pair<std::string, IvRange>> ivRangeOf(const frontend::ForStmt& loop);
+
+/// A subscript lifted to `c0 + c1 * iv`. `iv` empty (with c1 == 0) means
+/// the subscript is the constant c0.
+struct AffineForm {
+  long long c0 = 0;
+  long long c1 = 0;
+  std::string iv;
+
+  bool isConstant() const { return iv.empty(); }
+};
+
+/// Lifts an index expression into affine form over at most one variable:
+/// integer literals, a variable reference, negation, +/-, and
+/// multiplication by a constant. nullopt for anything else (division,
+/// two distinct variables, calls, array reads inside the subscript, ...).
+std::optional<AffineForm> liftAffine(const frontend::Expr& expr);
+
+}  // namespace hetpar::ir

@@ -2,17 +2,18 @@
 
 #include <algorithm>
 
+#include "hetpar/support/error.hpp"
+
 namespace hetpar::ir {
 
-std::vector<DepEdge> computeSiblingDeps(const std::vector<const frontend::Stmt*>& siblings,
-                                        const DefUseAnalysis& du,
-                                        const frontend::Function* fn) {
-  const int n = static_cast<int>(siblings.size());
-  // Edge map keyed by (from, to, kind) so multiple shared variables merge
-  // into a single edge with summed payload.
-  std::map<std::tuple<int, int, DepKind>, DepEdge> edges;
-  auto addEdge = [&](int from, int to, DepKind kind, const std::string& var, long long bytes) {
-    auto [it, inserted] = edges.try_emplace({from, to, kind});
+namespace {
+
+/// Edge map keyed by (from, to, kind) so multiple shared variables merge
+/// into a single edge with summed payload.
+class EdgeBuilder {
+ public:
+  void add(int from, int to, DepKind kind, const std::string& var, long long bytes) {
+    auto [it, inserted] = edges_.try_emplace({from, to, kind});
     DepEdge& e = it->second;
     if (inserted) {
       e.from = from;
@@ -23,15 +24,31 @@ std::vector<DepEdge> computeSiblingDeps(const std::vector<const frontend::Stmt*>
       e.vars.push_back(var);
       e.bytes += bytes;
     }
-  };
+  }
 
+  std::vector<DepEdge> take() {
+    std::vector<DepEdge> out;
+    out.reserve(edges_.size());
+    for (auto& [key, e] : edges_) out.push_back(std::move(e));
+    return out;
+  }
+
+ private:
+  std::map<std::tuple<int, int, DepKind>, DepEdge> edges_;
+};
+
+std::vector<DepEdge> siblingDepsConservative(
+    const std::vector<const frontend::Stmt*>& siblings, const DefUseAnalysis& du,
+    const frontend::Function* fn) {
+  const int n = static_cast<int>(siblings.size());
+  EdgeBuilder edges;
   for (int j = 0; j < n; ++j) {
     const DefUse& dj = du.of(*siblings[static_cast<std::size_t>(j)]);
     // Flow: last writer of each used variable.
     for (const auto& v : dj.uses) {
       for (int i = j - 1; i >= 0; --i) {
         if (du.of(*siblings[static_cast<std::size_t>(i)]).defs.count(v)) {
-          addEdge(i, j, DepKind::Flow, v, du.byteSizeOf(fn, v));
+          edges.add(i, j, DepKind::Flow, v, du.byteSizeOf(fn, v));
           break;
         }
       }
@@ -40,27 +57,108 @@ std::vector<DepEdge> computeSiblingDeps(const std::vector<const frontend::Stmt*>
       // Output: nearest earlier writer.
       for (int i = j - 1; i >= 0; --i) {
         if (du.of(*siblings[static_cast<std::size_t>(i)]).defs.count(v)) {
-          addEdge(i, j, DepKind::Output, v, 0);
+          edges.add(i, j, DepKind::Output, v, 0);
           break;
         }
       }
       // Anti: readers since the previous write.
       for (int i = j - 1; i >= 0; --i) {
         const DefUse& di = du.of(*siblings[static_cast<std::size_t>(i)]);
-        if (di.uses.count(v) && i != j) addEdge(i, j, DepKind::Anti, v, 0);
+        if (di.uses.count(v) && i != j) edges.add(i, j, DepKind::Anti, v, 0);
         if (di.defs.count(v)) break;  // earlier reads belong to the previous write
       }
     }
   }
-
-  std::vector<DepEdge> out;
-  out.reserve(edges.size());
-  for (auto& [key, e] : edges) out.push_back(std::move(e));
-  return out;
+  return edges.take();
 }
 
-RegionFlow computeRegionFlow(const std::vector<const frontend::Stmt*>& siblings,
-                             const DefUseAnalysis& du, const frontend::Function* fn) {
+/// The section a writer statement claims for `v`; falls back to an
+/// indefinite ⊤ when the summary has no entry (defensive: the def/use and
+/// section layers are built from the same traversal, so this should not
+/// happen).
+SectionInfo writeSectionOf(const AccessSummary& su, const std::string& v) {
+  auto it = su.writes.find(v);
+  if (it != su.writes.end()) return it->second;
+  return SectionInfo{ArraySection{}, false, false};
+}
+
+std::vector<DepEdge> siblingDepsAffine(const std::vector<const frontend::Stmt*>& siblings,
+                                       const DefUseAnalysis& du, const frontend::Function* fn,
+                                       const SectionAnalysis& sa) {
+  const int n = static_cast<int>(siblings.size());
+  EdgeBuilder edges;
+  for (int j = 0; j < n; ++j) {
+    const frontend::Stmt& stj = *siblings[static_cast<std::size_t>(j)];
+    const AccessSummary& sj = sa.of(stj);
+
+    // Flow: every earlier writer whose section may overlap the read, nearest
+    // first; a definite exact covering write hides anything earlier. The
+    // pseudo-use a partial write adds at the def/use layer has no entry in
+    // `reads`, so write-only array statements stop attracting flow edges.
+    // The per-(reader, var) payload is capped at the object size, which
+    // keeps the region's affine byte total below the conservative one.
+    for (const auto& [v, read] : sj.reads) {
+      const frontend::Type* type = sa.typeOf(fn, v);
+      long long budget = du.byteSizeOf(fn, v);
+      for (int i = j - 1; i >= 0; --i) {
+        if (!du.of(*siblings[static_cast<std::size_t>(i)]).defs.count(v)) continue;
+        const SectionInfo w = writeSectionOf(sa.of(*siblings[static_cast<std::size_t>(i)]), v);
+        if (type == nullptr) {  // unknown type: conservative nearest-writer edge
+          edges.add(i, j, DepKind::Flow, v, budget);
+          break;
+        }
+        if (SectionAnalysis::mayOverlap(w.hull, read.hull, *type)) {
+          long long pay =
+              std::min(budget, SectionAnalysis::overlapBytes(w.hull, read.hull, *type));
+          budget -= pay;
+          edges.add(i, j, DepKind::Flow, v, pay);
+        }
+        if (SectionAnalysis::covers(w, read.hull, *type)) break;
+      }
+    }
+
+    for (const auto& [v, wj] : sj.writes) {
+      const frontend::Type* type = sa.typeOf(fn, v);
+      // Output: earlier writers with overlapping write sections; a covering
+      // write hides the rest (their values are dead past it).
+      for (int i = j - 1; i >= 0; --i) {
+        if (!du.of(*siblings[static_cast<std::size_t>(i)]).defs.count(v)) continue;
+        const SectionInfo w = writeSectionOf(sa.of(*siblings[static_cast<std::size_t>(i)]), v);
+        if (type == nullptr) {
+          edges.add(i, j, DepKind::Output, v, 0);
+          break;
+        }
+        if (SectionAnalysis::mayOverlap(w.hull, wj.hull, *type))
+          edges.add(i, j, DepKind::Output, v, 0);
+        if (SectionAnalysis::covers(w, wj.hull, *type)) break;
+      }
+      // Anti: earlier readers whose sections this write may clobber. The
+      // scan stops at a covering write: readers before it conflict with
+      // *that* write and reach us transitively through its output edge.
+      for (int i = j - 1; i >= 0; --i) {
+        const frontend::Stmt& sti = *siblings[static_cast<std::size_t>(i)];
+        const DefUse& di = du.of(sti);
+        if (di.uses.count(v)) {
+          const AccessSummary& si = sa.of(sti);
+          if (auto rit = si.reads.find(v); rit != si.reads.end()) {
+            if (type == nullptr ||
+                SectionAnalysis::mayOverlap(rit->second.hull, wj.hull, *type))
+              edges.add(i, j, DepKind::Anti, v, 0);
+          }
+        }
+        if (di.defs.count(v)) {
+          if (type == nullptr) break;
+          const SectionInfo w = writeSectionOf(sa.of(sti), v);
+          if (SectionAnalysis::covers(w, wj.hull, *type)) break;
+        }
+      }
+    }
+  }
+  return edges.take();
+}
+
+RegionFlow regionFlowConservative(const std::vector<const frontend::Stmt*>& siblings,
+                                  const DefUseAnalysis& du, const frontend::Function* fn) {
   const int n = static_cast<int>(siblings.size());
   RegionFlow flow;
   flow.inbound.resize(static_cast<std::size_t>(n));
@@ -88,6 +186,76 @@ RegionFlow computeRegionFlow(const std::vector<const frontend::Stmt*>& siblings,
     }
   }
   return flow;
+}
+
+RegionFlow regionFlowAffine(const std::vector<const frontend::Stmt*>& siblings,
+                            const DefUseAnalysis& du, const frontend::Function* fn,
+                            const SectionAnalysis& sa) {
+  const int n = static_cast<int>(siblings.size());
+  RegionFlow flow;
+  flow.inbound.resize(static_cast<std::size_t>(n));
+  flow.outbound.resize(static_cast<std::size_t>(n));
+
+  // The in/out *pair* conditions are the conservative, name-based ones (so
+  // the affine comm edges are a subset of the conservative ones); the
+  // sections shrink the payload to the accessed hull, and a later covering
+  // write additionally kills an outbound value.
+  for (int j = 0; j < n; ++j) {
+    const AccessSummary& sj = sa.of(*siblings[static_cast<std::size_t>(j)]);
+    for (const auto& [v, read] : sj.reads) {
+      bool producedEarlier = false;
+      for (int i = 0; i < j && !producedEarlier; ++i)
+        producedEarlier = du.of(*siblings[static_cast<std::size_t>(i)]).defs.count(v) > 0;
+      if (producedEarlier) continue;
+      const frontend::Type* type = sa.typeOf(fn, v);
+      flow.inbound[static_cast<std::size_t>(j)][v] =
+          type == nullptr ? du.byteSizeOf(fn, v)
+                          : SectionAnalysis::sectionBytes(read.hull, *type);
+    }
+    for (const auto& [v, wj] : sj.writes) {
+      const frontend::Type* type = sa.typeOf(fn, v);
+      bool deadLater = false;
+      for (int i = j + 1; i < n && !deadLater; ++i) {
+        const frontend::Stmt& sti = *siblings[static_cast<std::size_t>(i)];
+        const DefUse& di = du.of(sti);
+        if (di.defs.count(v) == 0) continue;
+        if (di.uses.count(v) == 0) deadLater = true;  // conservative pure overwrite
+        if (type != nullptr &&
+            SectionAnalysis::covers(writeSectionOf(sa.of(sti), v), wj.hull, *type))
+          deadLater = true;  // a covering rewrite kills the value even if it reads first
+      }
+      if (deadLater) continue;
+      flow.outbound[static_cast<std::size_t>(j)][v] =
+          type == nullptr ? du.byteSizeOf(fn, v)
+                          : SectionAnalysis::sectionBytes(wj.hull, *type);
+    }
+  }
+  return flow;
+}
+
+}  // namespace
+
+std::vector<DepEdge> computeSiblingDeps(const std::vector<const frontend::Stmt*>& siblings,
+                                        const DefUseAnalysis& du,
+                                        const frontend::Function* fn,
+                                        const DependenceOptions& options) {
+  if (options.mode == DependenceMode::Affine) {
+    HETPAR_CHECK_MSG(options.sections != nullptr,
+                     "affine dependence mode requires a SectionAnalysis");
+    return siblingDepsAffine(siblings, du, fn, *options.sections);
+  }
+  return siblingDepsConservative(siblings, du, fn);
+}
+
+RegionFlow computeRegionFlow(const std::vector<const frontend::Stmt*>& siblings,
+                             const DefUseAnalysis& du, const frontend::Function* fn,
+                             const DependenceOptions& options) {
+  if (options.mode == DependenceMode::Affine) {
+    HETPAR_CHECK_MSG(options.sections != nullptr,
+                     "affine dependence mode requires a SectionAnalysis");
+    return regionFlowAffine(siblings, du, fn, *options.sections);
+  }
+  return regionFlowConservative(siblings, du, fn);
 }
 
 }  // namespace hetpar::ir

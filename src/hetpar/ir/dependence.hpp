@@ -5,10 +5,22 @@
 // if source and target node are executed in different tasks") plus the flows
 // that cross the region boundary (feeding the Communication-In/Out nodes).
 //
-// Variables are treated as whole objects (array granularity); flow edges go
-// from the *last* writer to each reader, anti/output edges are pure ordering
-// (zero communication payload — task spawn copies data, so WAR hazards
-// dissolve, but we keep the ordering to stay conservative).
+// Two modes, selected by DependenceOptions:
+//
+//   Conservative (default) — variables are whole objects (array
+//   granularity); flow edges go from the *last* writer to each reader,
+//   anti/output edges are pure ordering (zero communication payload — task
+//   spawn copies data, so WAR hazards dissolve, but we keep the ordering to
+//   stay conservative).
+//
+//   Affine — array accesses are refined by the section analysis
+//   (ir/sections.hpp): provably disjoint sections produce no edge, and
+//   overlapping sections pay only the overlap in bytes. Edges may target
+//   non-nearest writers (a partial write does not hide earlier writers);
+//   a *definite, exact* covering write still does. Every affine edge lies
+//   in the transitive closure of the conservative edge set, and the
+//   per-region byte totals never exceed the conservative ones (the verify
+//   harness checks both as the refinement-soundness relation).
 #pragma once
 
 #include <map>
@@ -16,10 +28,19 @@
 #include <vector>
 
 #include "hetpar/ir/defuse.hpp"
+#include "hetpar/ir/sections.hpp"
 
 namespace hetpar::ir {
 
 enum class DepKind { Flow, Anti, Output };
+
+enum class DependenceMode { Conservative, Affine };
+
+struct DependenceOptions {
+  DependenceMode mode = DependenceMode::Conservative;
+  /// Required when mode == Affine; ignored otherwise.
+  const SectionAnalysis* sections = nullptr;
+};
 
 struct DepEdge {
   int from = 0;  ///< index into the sibling vector
@@ -33,7 +54,8 @@ struct DepEdge {
 /// pass nullptr for global scope).
 std::vector<DepEdge> computeSiblingDeps(const std::vector<const frontend::Stmt*>& siblings,
                                         const DefUseAnalysis& du,
-                                        const frontend::Function* fn);
+                                        const frontend::Function* fn,
+                                        const DependenceOptions& options = {});
 
 /// Flows crossing the region boundary.
 struct RegionFlow {
@@ -46,6 +68,7 @@ struct RegionFlow {
 };
 
 RegionFlow computeRegionFlow(const std::vector<const frontend::Stmt*>& siblings,
-                             const DefUseAnalysis& du, const frontend::Function* fn);
+                             const DefUseAnalysis& du, const frontend::Function* fn,
+                             const DependenceOptions& options = {});
 
 }  // namespace hetpar::ir

@@ -1,0 +1,139 @@
+// Array-section summaries for the affine dependence mode.
+//
+// The name-based def/use layer treats an element write `a[i] = ...` as
+// touching the whole array, which over-serializes siblings and over-charges
+// communication. This analysis attaches to every statement a per-variable
+// summary of the *sections* it reads and writes: per-dimension
+// `[lo:hi:stride]` triplets lifted from affine subscripts (ir/affine.hpp)
+// and widened over the enclosing canonical loops' induction ranges. Accesses
+// that are not affine — or whose induction variable has no static range —
+// fall back to the conservative ⊤ section (the whole object).
+//
+// Summaries are widened over the full enclosing iteration space, so all
+// siblings of one HTG region describe their effects against the same
+// iteration space and region-level overlap/kill reasoning stays consistent.
+//
+// Soundness contract:
+//   hull      over-approximates the touched elements (usable for overlap
+//             tests: disjoint hulls ⇒ no dependence),
+//   definite && exact
+//             under-approximates certainty: the hull is touched in its
+//             entirety whenever the statement executes (usable for kill /
+//             coverage tests: a definite exact write hides earlier writers).
+//
+// Interprocedural: per-function section effects are computed bottom-up over
+// the acyclic call graph, so a callee writing `dst[i]` for i in [0,n) shows
+// up at the call site as that section of the argument array instead of
+// smearing to the whole object.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hetpar/frontend/ast.hpp"
+#include "hetpar/frontend/sema.hpp"
+
+namespace hetpar::ir {
+
+/// One dimension of a section: the arithmetic progression
+/// lo, lo + stride, ..., hi (hi is reachable from lo; stride >= 1).
+struct DimSection {
+  long long lo = 0;
+  long long hi = 0;
+  long long stride = 1;
+
+  long long count() const { return (hi - lo) / stride + 1; }
+};
+
+/// The elements of one variable an access touches. `whole` is the ⊤
+/// fallback (the entire object — also the only representation for
+/// scalars); otherwise `dims` holds one triplet per array dimension.
+struct ArraySection {
+  bool whole = true;
+  std::vector<DimSection> dims;  ///< rank-sized when !whole
+};
+
+/// Section plus the certainty flags the kill/coverage tests need.
+struct SectionInfo {
+  ArraySection hull;
+  bool definite = false;  ///< access happens whenever the statement executes
+  bool exact = false;     ///< hull == union of touched elements
+
+  /// True when the hull is guaranteed to be touched in its entirety.
+  bool mustCover() const { return definite && exact; }
+};
+
+/// Per-statement access summary. `writes` keys match `DefUse::defs`;
+/// `reads` holds *actual* reads only — the def/use layer's pseudo-use of a
+/// partially written array is deliberately absent (that artifact is what
+/// the affine mode exists to remove).
+struct AccessSummary {
+  std::map<std::string, SectionInfo> reads;
+  std::map<std::string, SectionInfo> writes;
+};
+
+/// Interprocedural section effects of calling a function.
+struct FunctionSectionEffects {
+  std::map<std::size_t, SectionInfo> paramReads;   ///< by parameter position
+  std::map<std::size_t, SectionInfo> paramWrites;  ///< array parameters only
+  std::map<std::string, SectionInfo> globalReads;
+  std::map<std::string, SectionInfo> globalWrites;
+};
+
+class SectionAnalysis {
+ public:
+  /// `program` must have been through sema (`analyze`).
+  SectionAnalysis(const frontend::Program& program, const frontend::SemaResult& sema);
+
+  /// Summary of `stmt` (aggregated over its whole subtree, widened over the
+  /// enclosing loops' iteration spaces).
+  const AccessSummary& of(const frontend::Stmt& stmt) const;
+
+  const FunctionSectionEffects& effects(const frontend::Function& fn) const;
+
+  /// Type of `name` in the scope of `fn` (nullptr if unknown).
+  const frontend::Type* typeOf(const frontend::Function* fn, const std::string& name) const;
+
+  // --- Section algebra (static: pure functions of sections + type) --------
+
+  /// May the two sections share an element? Range disjointness plus a GCD
+  /// test on the strides; `true` is the safe answer whenever unsure.
+  static bool mayOverlap(const ArraySection& a, const ArraySection& b,
+                         const frontend::Type& type);
+
+  /// Does `writer` definitely touch every element of `target`? Requires
+  /// writer.mustCover() plus per-dimension progression containment; `false`
+  /// is the safe answer.
+  static bool covers(const SectionInfo& writer, const ArraySection& target,
+                     const frontend::Type& type);
+
+  /// Storage touched by `s`, in bytes.
+  static long long sectionBytes(const ArraySection& s, const frontend::Type& type);
+
+  /// Upper bound on the bytes shared by `a` and `b` (0 when provably
+  /// disjoint); never exceeds min(sectionBytes(a), sectionBytes(b)).
+  static long long overlapBytes(const ArraySection& a, const ArraySection& b,
+                                const frontend::Type& type);
+
+  /// "[0:127:1]" / "[0:7:1][0:7:2]" / "whole" — for --dump-deps.
+  static std::string toString(const ArraySection& s);
+
+ private:
+  struct Context;
+  AccessSummary analyzeStmt(const frontend::Stmt& stmt, const frontend::Function* fn,
+                            const Context& ctx);
+  void collectExprReads(const frontend::Expr& expr, const frontend::Function* fn,
+                        const Context& ctx, AccessSummary& out);
+  SectionInfo liftAccess(const std::string& name,
+                         const std::vector<frontend::ExprPtr>& indices,
+                         const frontend::Function* fn, const Context& ctx);
+  FunctionSectionEffects computeEffects(const frontend::Function& fn);
+
+  const frontend::Program& program_;
+  const frontend::SemaResult& sema_;
+  std::map<const frontend::Stmt*, AccessSummary> perStmt_;
+  std::map<const frontend::Function*, FunctionSectionEffects> effects_;
+};
+
+}  // namespace hetpar::ir

@@ -38,13 +38,13 @@ namespace {
 /// Hits return the memoized result without touching the solver (and without
 /// contributing solve statistics); misses solve, account, and store.
 IlpParResult solveTaskCached(const IlpRegion& region, ilp::BranchAndBoundSolver& solver,
-                             IlpRegionCache* cache, IlpStatistics& stats) {
+                             IlpRegionCache* cache, IlpStatistics& stats, char keyTag) {
   if (cache == nullptr) {
     IlpParResult r = solveIlpPar(region, solver);
     stats.absorb(r.stats);
     return r;
   }
-  const std::string key = IlpRegionCache::taskKey(region, solver.options());
+  const std::string key = IlpRegionCache::taskKey(region, solver.options(), keyTag);
   IlpParResult r;
   if (cache->lookupTask(key, r)) {
     ++stats.cacheHits;
@@ -58,13 +58,13 @@ IlpParResult solveTaskCached(const IlpRegion& region, ilp::BranchAndBoundSolver&
 }
 
 ChunkResult solveChunkCached(const ChunkRegion& region, ilp::BranchAndBoundSolver& solver,
-                             IlpRegionCache* cache, IlpStatistics& stats) {
+                             IlpRegionCache* cache, IlpStatistics& stats, char keyTag) {
   if (cache == nullptr) {
     ChunkResult r = solveChunkIlp(region, solver);
     stats.absorb(r.stats);
     return r;
   }
-  const std::string key = IlpRegionCache::chunkKey(region, solver.options());
+  const std::string key = IlpRegionCache::chunkKey(region, solver.options(), keyTag);
   ChunkResult r;
   if (cache->lookupChunk(key, r)) {
     ++stats.cacheHits;
@@ -161,7 +161,8 @@ Parallelizer::LaneOutput Parallelizer::runLane(NodeId id, SolutionKind kind, Cla
           (upperBound <= 0 || greedy.timeSeconds * 1.02 < upperBound))
         upperBound = greedy.timeSeconds * 1.02;
       region.upperBoundSeconds = upperBound;
-      const IlpParResult r = solveTaskCached(region, solver, cache, out.stats);
+      const char keyTag = static_cast<char>(options_.dependenceMode);
+      const IlpParResult r = solveTaskCached(region, solver, cache, out.stats, keyTag);
       feasible = r.feasible;
       if (feasible) cand = decodeTaskParallel(node, region, r);
       if (greedy.timeSeconds > 0 && greedy.totalProcs() > 1 &&
@@ -172,7 +173,8 @@ Parallelizer::LaneOutput Parallelizer::runLane(NodeId id, SolutionKind kind, Cla
     } else {
       ChunkRegion region = buildChunkRegion(id, sets, seqPC, budget);
       region.upperBoundSeconds = upperBound;
-      const ChunkResult r = solveChunkCached(region, solver, cache, out.stats);
+      const char keyTag = static_cast<char>(options_.dependenceMode);
+      const ChunkResult r = solveChunkCached(region, solver, cache, out.stats, keyTag);
       feasible = r.feasible;
       if (feasible) cand = decodeChunked(node, r, seqPC);
     }

@@ -64,6 +64,9 @@ struct ParallelizerOptions {
   /// the same program planned against several platform views). When null and
   /// `enableRegionCache` is set, each run uses a private cache.
   std::shared_ptr<IlpRegionCache> regionCache;
+  /// Dependence mode the HTG was built with. Folded into region-cache keys
+  /// so graphs from different modes never share memoized ILP solutions.
+  ir::DependenceMode dependenceMode = ir::DependenceMode::Conservative;
 };
 
 struct ParallelizeOutcome {

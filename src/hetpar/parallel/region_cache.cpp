@@ -31,9 +31,11 @@ void putOptions(std::string& key, const ilp::SolveOptions& opts) {
 
 }  // namespace
 
-std::string IlpRegionCache::taskKey(const IlpRegion& region, const ilp::SolveOptions& opts) {
+std::string IlpRegionCache::taskKey(const IlpRegion& region, const ilp::SolveOptions& opts,
+                                    char keyTag) {
   std::string key;
   key.push_back('T');
+  key.push_back(keyTag);
   putOptions(key, opts);
   putI64(key, region.seqPC);
   putI64(key, region.maxProcs);
@@ -64,9 +66,11 @@ std::string IlpRegionCache::taskKey(const IlpRegion& region, const ilp::SolveOpt
   return key;
 }
 
-std::string IlpRegionCache::chunkKey(const ChunkRegion& region, const ilp::SolveOptions& opts) {
+std::string IlpRegionCache::chunkKey(const ChunkRegion& region, const ilp::SolveOptions& opts,
+                                     char keyTag) {
   std::string key;
   key.push_back('C');
+  key.push_back(keyTag);
   putOptions(key, opts);
   putI64(key, region.iterations);
   putI64(key, region.seqPC);

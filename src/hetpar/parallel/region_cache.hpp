@@ -33,9 +33,13 @@ namespace hetpar::parallel {
 class IlpRegionCache {
  public:
   /// Canonical key for a task-parallel region under the given solver limits.
-  static std::string taskKey(const IlpRegion& region, const ilp::SolveOptions& opts);
+  /// `keyTag` namespaces keys by the dependence mode the HTG was built with,
+  /// so a shared cache never serves a solution across modes.
+  static std::string taskKey(const IlpRegion& region, const ilp::SolveOptions& opts,
+                             char keyTag = 0);
   /// Canonical key for a loop-chunking region under the given solver limits.
-  static std::string chunkKey(const ChunkRegion& region, const ilp::SolveOptions& opts);
+  static std::string chunkKey(const ChunkRegion& region, const ilp::SolveOptions& opts,
+                              char keyTag = 0);
 
   /// Returns true and fills `out` (with `out.stats` zeroed — a hit performed
   /// no solve) when the key is present.

@@ -88,9 +88,12 @@ class Flattener {
   int flattenNode(NodeId id, const SolutionCandidate& cand, double runs, int core,
                   std::vector<int> preds) {
     switch (cand.kind) {
-      case SolutionKind::Sequential:
-        return emit(core, runs * seconds(core, graph_.subtreeMixPerExec(id)), std::move(preds),
-                    {}, graph_.node(id).label);
+      case SolutionKind::Sequential: {
+        const int seg = emit(core, runs * seconds(core, graph_.subtreeMixPerExec(id)),
+                             std::move(preds), {}, graph_.node(id).label);
+        out_.tasks[static_cast<std::size_t>(seg)].sourceNode = id;
+        return seg;
+      }
       case SolutionKind::TaskParallel:
         return flattenTaskParallel(id, cand, runs, core, std::move(preds));
       case SolutionKind::LoopChunked:
@@ -271,6 +274,7 @@ class Flattener {
       const int seg = emit(
           taskCore, spawn + runs * iters * seconds(taskCore, perIterMix), {header},
           std::move(transfers), strings::format("%s:chunk%d", node.label.c_str(), t));
+      out_.tasks[static_cast<std::size_t>(seg)].sourceNode = id;
       chunkTasks.push_back(seg);
       if (t != 0 && outBytes > 0)
         joinTransfers.emplace_back(seg, runs * timing_.commSeconds(outBytes * frac));
@@ -308,6 +312,7 @@ FlattenResult flattenSequential(const htg::Graph& graph, const cost::TimingModel
   t.computeSeconds = realTiming.seconds(realTiming.platform().classOfCore(mainCore),
                                         graph.subtreeMixPerExec(graph.root()));
   t.label = "sequential";
+  t.sourceNode = graph.root();
   result.finalTask = result.graph.addTask(std::move(t));
   return result;
 }

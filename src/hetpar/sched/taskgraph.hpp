@@ -20,6 +20,10 @@ struct SimTask {
   /// (producer task id, transfer duration on the shared bus).
   std::vector<std::pair<int, double>> transfers;
   std::string label;
+  /// HTG node whose subtree's work this task executes; -1 for structural
+  /// segments (headers, spawns, joins) that perform no program memory
+  /// accesses. Lets checkers map simulated tasks back to access summaries.
+  int sourceNode = -1;
 };
 
 struct TaskGraph {

@@ -77,7 +77,8 @@ parallel::ParallelizeOutcome runHeterogeneous(htg::FrontendBundle& bundle,
 EvalResult evaluateBenchmark(const std::string& name, const std::string& source,
                              const platform::Platform& pf, Scenario scenario,
                              const EvalOptions& options) {
-  htg::FrontendBundle bundle = htg::buildFromSource(source);
+  htg::FrontendBundle bundle =
+      htg::buildFromSource(source, options.parallelizer.dependenceMode);
   htg::validateOrThrow(bundle.graph);
   const parallel::ParallelizeOutcome hetOutcome = runHeterogeneous(bundle, pf, options);
   return evaluateScenario(name, bundle, pf, scenario, hetOutcome, options);
@@ -87,7 +88,8 @@ ScenarioResults evaluateBenchmarkAllScenarios(const std::string& name,
                                               const std::string& source,
                                               const platform::Platform& pf,
                                               const EvalOptions& options) {
-  htg::FrontendBundle bundle = htg::buildFromSource(source);
+  htg::FrontendBundle bundle =
+      htg::buildFromSource(source, options.parallelizer.dependenceMode);
   htg::validateOrThrow(bundle.graph);
   const parallel::ParallelizeOutcome hetOutcome = runHeterogeneous(bundle, pf, options);
   ScenarioResults results;

@@ -54,7 +54,7 @@ class ChunkGen {
 
   void statement(int depth) {
     if (depth > options_.maxDepth) return;
-    switch (rng_.below(4)) {
+    switch (rng_.below(5)) {
       case 0: {  // elementwise loop
         const std::string iv = "i" + std::to_string(counter_++);
         indent(depth);
@@ -87,7 +87,7 @@ class ChunkGen {
             << " = " << v << " - 1; }\n";
         break;
       }
-      default: {  // reduction loop
+      case 3: {  // reduction loop
         const std::string s = "r" + std::to_string(counter_++);
         const std::string iv = "i" + std::to_string(counter_++);
         indent(depth);
@@ -98,6 +98,41 @@ class ChunkGen {
             << iv << "]; }\n";
         indent(depth);
         os_ << "gc[0] = " << s << " % 97;\n";
+        break;
+      }
+      default: {  // affine-subscript loop (offset / strided / disjoint halves)
+        const std::string iv = "i" + std::to_string(counter_++);
+        const std::string dst = array();
+        indent(depth);
+        switch (rng_.below(3)) {
+          case 0: {  // dst[iv + c] over [0, extent - c)
+            const int c = static_cast<int>(rng_.range(1, 4));
+            os_ << "for (int " << iv << " = 0; " << iv << " < " << (extent() - c) << "; "
+                << iv << " = " << iv << " + 1) { " << dst << "[" << iv << " + " << c
+                << "] = " << array() << "[" << iv << "] + " << rng_.range(0, 8)
+                << "; }\n";
+            break;
+          }
+          case 1: {  // dst[2 * iv] over [0, extent / 2)
+            os_ << "for (int " << iv << " = 0; " << iv << " < " << extent() / 2 << "; "
+                << iv << " = " << iv << " + 1) { " << dst << "[2 * " << iv
+                << "] = " << array() << "[2 * " << iv << " + 1] + " << rng_.range(1, 9)
+                << "; }\n";
+            break;
+          }
+          default: {  // two loops over disjoint halves of one array
+            const std::string iv2 = "i" + std::to_string(counter_++);
+            const int half = extent() / 2;
+            os_ << "for (int " << iv << " = 0; " << iv << " < " << half << "; " << iv
+                << " = " << iv << " + 1) { " << dst << "[" << iv << "] = " << expr(iv)
+                << "; }\n";
+            indent(depth);
+            os_ << "for (int " << iv2 << " = " << half << "; " << iv2 << " < "
+                << extent() << "; " << iv2 << " = " << iv2 << " + 1) { " << dst << "["
+                << iv2 << "] = " << expr(iv2) << "; }\n";
+            break;
+          }
+        }
         break;
       }
     }

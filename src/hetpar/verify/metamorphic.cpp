@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 
 #include "hetpar/htg/builder.hpp"
 #include "hetpar/htg/validate.hpp"
@@ -209,6 +210,181 @@ RelationResult checkSimConsistency(const htg::Graph& graph, const platform::Plat
 }
 
 // ---------------------------------------------------------------------------
+// Affine-dependence relations
+// ---------------------------------------------------------------------------
+
+/// The scope a node's *statement* lives in. Call nodes carry the callee as
+/// their scope (their children live there), but the call-site statement —
+/// and therefore its access summary — belongs to the caller.
+const frontend::Function* stmtScope(const htg::Graph& g, const htg::Node& n) {
+  if (n.kind == htg::NodeKind::Call && n.parent != htg::kNoNode)
+    return g.node(n.parent).scope;
+  return n.scope;
+}
+
+/// First variable on which the two nodes' subtree summaries may conflict
+/// (write/write, write/read, or read/write on overlapping sections); "" when
+/// provably independent. Identical names in different scopes only conflict
+/// when the name is a global.
+std::string sectionConflict(const htg::Graph& g, const frontend::SemaResult& sema,
+                            const ir::SectionAnalysis& sa, htg::NodeId aId,
+                            htg::NodeId bId) {
+  const htg::Node& na = g.node(aId);
+  const htg::Node& nb = g.node(bId);
+  if (na.stmt == nullptr || nb.stmt == nullptr) return "";
+  const ir::AccessSummary& a = sa.of(*na.stmt);
+  const ir::AccessSummary& b = sa.of(*nb.stmt);
+  const frontend::Function* fa = stmtScope(g, na);
+  const frontend::Function* fb = stmtScope(g, nb);
+  const auto clash = [&](const std::map<std::string, ir::SectionInfo>& x,
+                         const std::map<std::string, ir::SectionInfo>& y) -> std::string {
+    for (const auto& [v, sx] : x) {
+      const auto it = y.find(v);
+      if (it == y.end()) continue;
+      if (fa != fb && sema.globals.count(v) == 0) continue;
+      const frontend::Type* type = sa.typeOf(fa, v);
+      if (type == nullptr ||
+          ir::SectionAnalysis::mayOverlap(sx.hull, it->second.hull, *type))
+        return v;
+    }
+    return "";
+  };
+  if (std::string v = clash(a.writes, b.writes); !v.empty()) return v;
+  if (std::string v = clash(a.writes, b.reads); !v.empty()) return v;
+  return clash(a.reads, b.writes);
+}
+
+RelationResult checkRefinementSoundness(const std::string& source) {
+  constexpr Relation kR = Relation::RefinementSoundness;
+  htg::FrontendBundle cons = htg::buildFromSource(source, ir::DependenceMode::Conservative);
+  htg::FrontendBundle aff = htg::buildFromSource(source, ir::DependenceMode::Affine);
+  htg::validateOrThrow(aff.graph);
+  if (cons.graph.size() != aff.graph.size())
+    return fail(kR, strings::format("graph sizes differ: %zu conservative vs %zu affine",
+                                    cons.graph.size(), aff.graph.size()));
+
+  for (htg::NodeId id = 0; id < static_cast<htg::NodeId>(cons.graph.size()); ++id) {
+    const htg::Node& nc = cons.graph.node(id);
+    const htg::Node& na = aff.graph.node(id);
+    if (nc.kind != na.kind || nc.children != na.children)
+      return fail(kR, strings::format("node %d: modes disagree on graph structure", id));
+    if (!nc.isHierarchical()) continue;
+
+    const int n = static_cast<int>(nc.children.size());
+    std::map<htg::NodeId, int> childIndex;
+    for (int i = 0; i < n; ++i)
+      childIndex[nc.children[static_cast<std::size_t>(i)]] = i;
+
+    // Conservative reachability among children (transitive closure), comm
+    // variable sets, and the region byte total.
+    std::vector<std::vector<bool>> reach(static_cast<std::size_t>(n),
+                                         std::vector<bool>(static_cast<std::size_t>(n)));
+    std::map<int, std::set<std::string>> consIn, consOut;
+    long long consBytes = 0;
+    for (const htg::Edge& e : nc.edges) {
+      consBytes += e.bytes;
+      if (e.from == nc.commIn) {
+        auto& vars = consIn[childIndex.at(e.to)];
+        vars.insert(e.vars.begin(), e.vars.end());
+      } else if (e.to == nc.commOut) {
+        auto& vars = consOut[childIndex.at(e.from)];
+        vars.insert(e.vars.begin(), e.vars.end());
+      } else {
+        reach[static_cast<std::size_t>(childIndex.at(e.from))]
+             [static_cast<std::size_t>(childIndex.at(e.to))] = true;
+      }
+    }
+    for (int k = 0; k < n; ++k)
+      for (int i = 0; i < n; ++i)
+        if (reach[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)])
+          for (int j = 0; j < n; ++j)
+            if (reach[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)])
+              reach[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = true;
+
+    long long affBytes = 0;
+    for (const htg::Edge& e : na.edges) {
+      affBytes += e.bytes;
+      if (e.from == na.commIn) {
+        const auto it = consIn.find(childIndex.at(e.to));
+        for (const std::string& v : e.vars)
+          if (it == consIn.end() || it->second.count(v) == 0)
+            return fail(kR, strings::format("node %d child %d: affine comm-in var '%s' "
+                                            "absent from the conservative comm-in set",
+                                            id, childIndex.at(e.to), v.c_str()));
+      } else if (e.to == na.commOut) {
+        const auto it = consOut.find(childIndex.at(e.from));
+        for (const std::string& v : e.vars)
+          if (it == consOut.end() || it->second.count(v) == 0)
+            return fail(kR, strings::format("node %d child %d: affine comm-out var '%s' "
+                                            "absent from the conservative comm-out set",
+                                            id, childIndex.at(e.from), v.c_str()));
+      } else {
+        const int from = childIndex.at(e.from);
+        const int to = childIndex.at(e.to);
+        if (!reach[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)])
+          return fail(kR, strings::format("node %d: affine edge %d->%d (%s) is not in "
+                                          "the conservative closure",
+                                          id, from, to,
+                                          e.vars.empty() ? "" : e.vars.front().c_str()));
+      }
+    }
+    if (affBytes > consBytes)
+      return fail(kR, strings::format("node %d: affine region bytes %lld exceed "
+                                      "conservative %lld",
+                                      id, affBytes, consBytes));
+  }
+  return pass(kR);
+}
+
+RelationResult checkScheduleValidity(const std::string& source, const platform::Platform& pf,
+                                     const MetamorphicOptions& options) {
+  constexpr Relation kR = Relation::ScheduleValidity;
+  htg::FrontendBundle bundle = htg::buildFromSource(source, ir::DependenceMode::Affine);
+  htg::validateOrThrow(bundle.graph);
+  const cost::TimingModel timing(pf);
+  parallel::ParallelizerOptions po = options.parallelizer;
+  po.dependenceMode = ir::DependenceMode::Affine;
+  const parallel::ParallelizeOutcome outcome = runPipeline(bundle.graph, timing, po);
+
+  std::vector<platform::ClassId> mains = {pf.fastestClass()};
+  if (pf.slowestClass() != pf.fastestClass()) mains.push_back(pf.slowestClass());
+  for (platform::ClassId mainClass : mains) {
+    const parallel::SolutionRef best = outcome.bestRoot(bundle.graph, mainClass);
+    if (!best.valid())
+      return fail(kR, strings::format("no best root candidate for class %d", mainClass));
+    const sched::FlattenResult flat = sched::flatten(
+        bundle.graph, outcome.table, best, timing, pf.firstCoreOfClass(mainClass));
+    const sim::SimReport report = sim::simulate(flat.graph);
+
+    // Two tasks with conflicting section summaries must never overlap in
+    // simulated time (same-core tasks are serialized by the core itself;
+    // same-source tasks are chunks of one DOALL loop, independent by the
+    // loop-parallelism analysis).
+    const auto& tasks = flat.graph.tasks;
+    for (std::size_t a = 0; a < tasks.size(); ++a) {
+      for (std::size_t b = a + 1; b < tasks.size(); ++b) {
+        if (tasks[a].core == tasks[b].core) continue;
+        if (tasks[a].sourceNode < 0 || tasks[b].sourceNode < 0) continue;
+        if (tasks[a].sourceNode == tasks[b].sourceNode) continue;
+        const double overlapStart = std::max(report.taskStart[a], report.taskStart[b]);
+        const double overlapEnd = std::min(report.taskFinish[a], report.taskFinish[b]);
+        if (overlapStart >= overlapEnd) continue;
+        const std::string v = sectionConflict(bundle.graph, bundle.sema, *bundle.sections,
+                                              tasks[a].sourceNode, tasks[b].sourceNode);
+        if (!v.empty())
+          return fail(kR, strings::format(
+                              "class %d: tasks '%s' and '%s' conflict on '%s' but run "
+                              "concurrently ([%.9g, %.9g] vs [%.9g, %.9g])",
+                              mainClass, tasks[a].label.c_str(), tasks[b].label.c_str(),
+                              v.c_str(), report.taskStart[a], report.taskFinish[a],
+                              report.taskStart[b], report.taskFinish[b]));
+      }
+    }
+  }
+  return pass(kR);
+}
+
+// ---------------------------------------------------------------------------
 // Region-level relations
 // ---------------------------------------------------------------------------
 
@@ -303,7 +479,8 @@ std::vector<Relation> allRelations() {
           Relation::SingleClassHomogeneous, Relation::JobsInvariance,
           Relation::CacheInvariance, Relation::GaVsIlp,
           Relation::OracleTask,     Relation::OracleChunk,
-          Relation::SimConsistency};
+          Relation::SimConsistency, Relation::RefinementSoundness,
+          Relation::ScheduleValidity};
 }
 
 std::string relationName(Relation r) {
@@ -317,6 +494,8 @@ std::string relationName(Relation r) {
     case Relation::OracleTask: return "oracle-task";
     case Relation::OracleChunk: return "oracle-chunk";
     case Relation::SimConsistency: return "sim-consistency";
+    case Relation::RefinementSoundness: return "refinement-soundness";
+    case Relation::ScheduleValidity: return "schedule-validity";
   }
   return "unknown";
 }
@@ -409,6 +588,10 @@ RelationResult checkProgramRelation(Relation r, const std::string& source,
       return checkCacheInvariance(bundle.graph, timing, options);
     case Relation::SimConsistency:
       return checkSimConsistency(bundle.graph, pf, options);
+    case Relation::RefinementSoundness:
+      return checkRefinementSoundness(source);
+    case Relation::ScheduleValidity:
+      return checkScheduleValidity(source, pf, options);
     default:
       break;
   }

@@ -19,6 +19,16 @@
 //   OracleChunk          chunk ILP == exhaustive enumeration on tiny loops
 //   SimConsistency       the discrete-event simulator's makespan is
 //                        consistent with the claimed critical path
+//   RefinementSoundness  the affine dependence mode only *refines* the
+//                        conservative one: every affine sibling edge lies in
+//                        the transitive closure of the conservative edges,
+//                        affine comm-in/out variables are a subset of the
+//                        conservative ones, and per-region byte totals never
+//                        grow
+//   ScheduleValidity     the DES replay of the affine-mode best solution has
+//                        no section-level hazard: tasks whose access
+//                        summaries may conflict never overlap in simulated
+//                        time on different cores
 //
 // Program-level relations take (source, platform) — which is what lets the
 // delta-debugging shrinker re-check a reduced program. Region-level
@@ -44,6 +54,8 @@ enum class Relation {
   OracleTask,
   OracleChunk,
   SimConsistency,
+  RefinementSoundness,
+  ScheduleValidity,
 };
 
 /// All relations, in a stable order (the fuzzer round-robins over these).

@@ -127,6 +127,47 @@ TEST(DefUse, ScalarParamWriteStaysLocal) {
   EXPECT_FALSE(fx.paramWritten[0]);
 }
 
+TEST(DefUse, EffectsLocalShadowingGlobalStaysLocal) {
+  Ctx c(R"(
+    int g = 0;
+    int shadow() { int g = 1; g = g + 2; return g; }
+    int main() { int r = shadow(); return r + g; }
+  )");
+  const FunctionEffects& fx = c.du->effects(*c.program.findFunction("shadow"));
+  EXPECT_FALSE(fx.globalsWritten.count("g")) << "writes hit the shadowing local, not the global";
+  EXPECT_FALSE(fx.globalsRead.count("g"));
+  const DefUse& d = c.du->of(c.mainStmt(0));
+  EXPECT_FALSE(d.defs.count("g")) << "call sites must not inherit shadowed-global defs";
+  EXPECT_FALSE(d.uses.count("g"));
+}
+
+TEST(DefUse, EffectsParamShadowingGlobalStaysLocal) {
+  Ctx c(R"(
+    int g = 3;
+    int bump(int g) { g = g + 1; return g; }
+    int main() { int r = bump(g); return r; }
+  )");
+  const FunctionEffects& fx = c.du->effects(*c.program.findFunction("bump"));
+  EXPECT_FALSE(fx.globalsWritten.count("g")) << "the parameter shadows the global";
+  EXPECT_FALSE(fx.globalsRead.count("g"));
+  EXPECT_TRUE(fx.paramRead[0]);
+  EXPECT_FALSE(fx.paramWritten[0]) << "scalar params are pass-by-value";
+  const DefUse& d = c.du->of(c.mainStmt(0));
+  EXPECT_TRUE(d.uses.count("g")) << "the argument expression still reads the global";
+  EXPECT_FALSE(d.defs.count("g"));
+}
+
+TEST(DefUse, EffectsMixedParamsWriteOnlyThroughArrays) {
+  Ctx c(R"(
+    void fill(int n, int dst[8]) { dst[n] = n; }
+    int main() { int data[8]; fill(2, data); return data[2]; }
+  )");
+  const FunctionEffects& fx = c.du->effects(*c.program.findFunction("fill"));
+  EXPECT_TRUE(fx.paramRead[0]);
+  EXPECT_FALSE(fx.paramWritten[0]) << "the scalar index is read-only by construction";
+  EXPECT_TRUE(fx.paramWritten[1]) << "element stores reach the caller's array";
+}
+
 TEST(DefUse, ByteSizes) {
   Ctx c("double m[4][4]; float v[8]; int s; int main() { s = 1; return s; }");
   EXPECT_EQ(c.du->byteSizeOf(nullptr, "m"), 128);

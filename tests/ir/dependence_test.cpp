@@ -143,6 +143,20 @@ TEST(Dependence, RegionFlowOutboundLastWriterOnly) {
   EXPECT_TRUE(flow.outbound[1].count("a"));
 }
 
+TEST(Dependence, RegionFlowOutboundUseThenRedefineForwards) {
+  // Statement 1 *uses* a before redefining it, so statement 0's value is
+  // consumed on the way out — it must stay outbound. Contrast with the pure
+  // overwrite in RegionFlowOutboundLastWriterOnly, which kills it.
+  Ctx c(R"(int main() {
+    int a = 1;
+    a = a + 1;
+    return a;
+  })");
+  RegionFlow flow = computeRegionFlow(c.mainStmts, *c.du, c.mainFn);
+  EXPECT_TRUE(flow.outbound[0].count("a")) << "use-then-redefine forwards the value";
+  EXPECT_TRUE(flow.outbound[1].count("a"));
+}
+
 TEST(Dependence, NoSelfEdges) {
   Ctx c(R"(int main() {
     int s = 0;

@@ -1,0 +1,144 @@
+#include "hetpar/ir/sections.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetpar/frontend/parser.hpp"
+
+namespace hetpar::ir {
+namespace {
+
+using frontend::analyze;
+using frontend::parseProgram;
+
+struct Ctx {
+  frontend::Program program;
+  frontend::SemaResult sema;
+  std::unique_ptr<SectionAnalysis> sa;
+
+  explicit Ctx(const char* src) : program(parseProgram(src)), sema(analyze(program)) {
+    sa = std::make_unique<SectionAnalysis>(program, sema);
+  }
+  const frontend::Stmt& mainStmt(std::size_t i) const {
+    return *program.findFunction("main")->body[i];
+  }
+  const frontend::Type& typeOf(const char* name) const { return sema.globals.at(name); }
+};
+
+void expectDim(const ArraySection& s, long long lo, long long hi, long long stride) {
+  ASSERT_FALSE(s.whole);
+  ASSERT_EQ(s.dims.size(), 1u);
+  EXPECT_EQ(s.dims[0].lo, lo);
+  EXPECT_EQ(s.dims[0].hi, hi);
+  EXPECT_EQ(s.dims[0].stride, stride);
+}
+
+TEST(Sections, LoopWriteWidensOverIvRange) {
+  Ctx c(R"(int a[16]; int main() {
+    for (int i = 0; i < 16; i = i + 1) { a[i] = i; }
+    return a[3];
+  })");
+  const AccessSummary& s = c.sa->of(c.mainStmt(0));
+  ASSERT_TRUE(s.writes.count("a"));
+  expectDim(s.writes.at("a").hull, 0, 15, 1);
+  EXPECT_TRUE(s.writes.at("a").mustCover()) << "unconditional unit-stride sweep";
+  EXPECT_FALSE(s.reads.count("a")) << "no pseudo-use: the loop never reads a";
+}
+
+TEST(Sections, OffsetAndStrideSubscripts) {
+  Ctx c(R"(int a[16]; int b[16]; int main() {
+    for (int i = 0; i < 8; i = i + 1) { a[i + 2] = i; }
+    for (int i = 0; i < 8; i = i + 1) { b[2 * i] = a[2 * i + 1]; }
+    return b[0];
+  })");
+  expectDim(c.sa->of(c.mainStmt(0)).writes.at("a").hull, 2, 9, 1);
+  const AccessSummary& s1 = c.sa->of(c.mainStmt(1));
+  expectDim(s1.writes.at("b").hull, 0, 14, 2);
+  expectDim(s1.reads.at("a").hull, 1, 15, 2);
+}
+
+TEST(Sections, NonAffineSubscriptFallsBackToTop) {
+  Ctx c(R"(int a[16]; int main() {
+    for (int i = 0; i < 4; i = i + 1) { a[i * i] = i; }
+    return a[0];
+  })");
+  const SectionInfo& w = c.sa->of(c.mainStmt(0)).writes.at("a");
+  EXPECT_TRUE(w.hull.whole) << "quadratic subscripts take the whole-object fallback";
+  EXPECT_FALSE(w.mustCover());
+}
+
+TEST(Sections, ConditionalWriteIsNotDefinite) {
+  Ctx c(R"(int a[16]; int main() {
+    for (int i = 0; i < 16; i = i + 1) { if (i > 3) { a[i] = i; } }
+    return a[5];
+  })");
+  const SectionInfo& w = c.sa->of(c.mainStmt(0)).writes.at("a");
+  EXPECT_FALSE(w.definite) << "guarded writes cannot kill earlier producers";
+  EXPECT_FALSE(w.mustCover());
+}
+
+TEST(Sections, InterproceduralParamSections) {
+  Ctx c(R"(
+    int dst[16];
+    void fillHalf(int v[16]) { for (int i = 0; i < 8; i = i + 1) { v[i] = i; } }
+    int main() { fillHalf(dst); return dst[0]; }
+  )");
+  const FunctionSectionEffects& fx = c.sa->effects(*c.program.findFunction("fillHalf"));
+  ASSERT_TRUE(fx.paramWrites.count(0));
+  expectDim(fx.paramWrites.at(0).hull, 0, 7, 1);
+  // The call site sees the callee's section on the argument array, not ⊤.
+  const AccessSummary& s = c.sa->of(c.mainStmt(0));
+  ASSERT_TRUE(s.writes.count("dst"));
+  expectDim(s.writes.at("dst").hull, 0, 7, 1);
+}
+
+TEST(Sections, OverlapAlgebra) {
+  Ctx c("double a[16]; int main() { return 0; }");
+  const frontend::Type& t = c.typeOf("a");
+  const ArraySection low{false, {{0, 7, 1}}};
+  const ArraySection high{false, {{8, 15, 1}}};
+  const ArraySection evens{false, {{0, 14, 2}}};
+  const ArraySection odds{false, {{1, 15, 2}}};
+  const ArraySection whole{};
+
+  EXPECT_FALSE(SectionAnalysis::mayOverlap(low, high, t)) << "disjoint ranges";
+  EXPECT_TRUE(SectionAnalysis::mayOverlap(low, evens, t));
+  EXPECT_FALSE(SectionAnalysis::mayOverlap(evens, odds, t)) << "GCD stride test";
+  EXPECT_TRUE(SectionAnalysis::mayOverlap(whole, low, t)) << "⊤ overlaps everything";
+
+  EXPECT_EQ(SectionAnalysis::sectionBytes(low, t), 64);
+  EXPECT_EQ(SectionAnalysis::sectionBytes(whole, t), 128);
+  EXPECT_EQ(SectionAnalysis::overlapBytes(low, high, t), 0);
+  EXPECT_LE(SectionAnalysis::overlapBytes(low, whole, t), 64)
+      << "overlap never exceeds the smaller section";
+}
+
+TEST(Sections, CoverageAlgebra) {
+  Ctx c("double a[16]; int main() { return 0; }");
+  const frontend::Type& t = c.typeOf("a");
+  const SectionInfo full{ArraySection{false, {{0, 15, 1}}}, true, true};
+  const SectionInfo sparse{ArraySection{false, {{0, 14, 2}}}, true, true};
+  const SectionInfo indefinite{ArraySection{false, {{0, 15, 1}}}, false, true};
+  const ArraySection middle{false, {{3, 9, 1}}};
+
+  EXPECT_TRUE(SectionAnalysis::covers(full, middle, t));
+  EXPECT_FALSE(SectionAnalysis::covers(sparse, middle, t)) << "stride 2 misses elements";
+  EXPECT_FALSE(SectionAnalysis::covers(indefinite, middle, t))
+      << "a conditional write never covers";
+}
+
+TEST(Sections, TwoDimensionalQuadrants) {
+  Ctx c("double c[16][16]; int main() { return 0; }");
+  const frontend::Type& t = c.typeOf("c");
+  const ArraySection nw{false, {{0, 7, 1}, {0, 7, 1}}};
+  const ArraySection ne{false, {{0, 7, 1}, {8, 15, 1}}};
+  const ArraySection sw{false, {{8, 15, 1}, {0, 7, 1}}};
+
+  EXPECT_FALSE(SectionAnalysis::mayOverlap(nw, ne, t)) << "disjoint in the column dim";
+  EXPECT_FALSE(SectionAnalysis::mayOverlap(nw, sw, t)) << "disjoint in the row dim";
+  EXPECT_FALSE(SectionAnalysis::mayOverlap(ne, sw, t));
+  EXPECT_EQ(SectionAnalysis::sectionBytes(nw, t), 512);
+  EXPECT_EQ(SectionAnalysis::toString(nw), "[0:7:1][0:7:1]");
+}
+
+}  // namespace
+}  // namespace hetpar::ir

@@ -9,7 +9,13 @@
 //   --emit-annotated <f>    write the pragma-annotated source
 //   --emit-parspec <f>      write the MPA-style parallel specification
 //   --emit-premap <f>       write the task-to-class pre-mapping
-//   --emit-dot <f>          write the HTG as Graphviz
+//   --emit-dot <f>          write the HTG as Graphviz (in affine mode the
+//                           pruned conservative edges are overlaid in grey)
+//   --dep-mode <m>          dependence analysis mode: conservative (default,
+//                           whole-object name matching) or affine
+//                           (array-section refinement)
+//   --dump-deps             print every region's dependence edges (kind,
+//                           variables, sections, payload bytes)
 //   --simulate              simulate sequential vs parallel on the MPSoC
 //   --baseline              also run the heterogeneity-oblivious baseline [6]
 //   --stats                 print ILP statistics (Table I columns)
@@ -38,6 +44,7 @@
 #include "hetpar/sched/flatten.hpp"
 #include "hetpar/sim/mpsoc.hpp"
 #include "hetpar/support/error.hpp"
+#include "hetpar/support/strings.hpp"
 
 namespace {
 
@@ -50,6 +57,8 @@ struct Options {
   std::string emitParspec;
   std::string emitPremap;
   std::string emitDot;
+  std::string depMode = "conservative";
+  bool dumpDeps = false;
   bool simulate = false;
   bool baseline = false;
   bool stats = false;
@@ -62,6 +71,7 @@ void usage() {
                "usage: hetparc [options] <source.c>\n"
                "  --preset A|B  --platform <file>  --main-class <name>\n"
                "  --emit-annotated <f>  --emit-parspec <f>  --emit-premap <f>  --emit-dot <f>\n"
+               "  --dep-mode conservative|affine  --dump-deps\n"
                "  --simulate  --baseline  --stats  --seq-only  --jobs <n>\n");
 }
 
@@ -94,6 +104,15 @@ bool parseArgs(int argc, char** argv, Options& opts) {
     } else if (arg == "--emit-dot") {
       if ((value = needValue(i)) == nullptr) return false;
       opts.emitDot = value;
+    } else if (arg == "--dep-mode") {
+      if ((value = needValue(i)) == nullptr) return false;
+      opts.depMode = value;
+      if (opts.depMode != "conservative" && opts.depMode != "affine") {
+        std::fprintf(stderr, "hetparc: --dep-mode expects 'conservative' or 'affine'\n");
+        return false;
+      }
+    } else if (arg == "--dump-deps") {
+      opts.dumpDeps = true;
     } else if (arg == "--simulate") {
       opts.simulate = true;
     } else if (arg == "--baseline") {
@@ -138,6 +157,54 @@ void writeFile(const std::string& path, const std::string& contents) {
   std::fprintf(stderr, "hetparc: wrote %s\n", path.c_str());
 }
 
+/// The section an edge transports for one of its variables: the writer's
+/// section for flow/output edges, the clobbered reader's for anti edges,
+/// the consumer's for comm-in edges.
+std::string edgeSection(const hetpar::htg::Graph& g, const hetpar::ir::SectionAnalysis& sa,
+                        const hetpar::htg::Node& region, const hetpar::htg::Edge& e,
+                        const std::string& v) {
+  using hetpar::ir::DepKind;
+  const hetpar::frontend::Stmt* stmt = nullptr;
+  bool wantWrite = true;
+  if (e.from == region.commIn) {
+    stmt = g.node(e.to).stmt;
+    wantWrite = false;  // inbound: what the consumer reads
+  } else {
+    stmt = g.node(e.from).stmt;
+    wantWrite = e.kind != DepKind::Anti;  // anti: what the earlier reader read
+  }
+  if (stmt == nullptr) return "?";
+  const hetpar::ir::AccessSummary& s = sa.of(*stmt);
+  const auto& m = wantWrite ? s.writes : s.reads;
+  const auto it = m.find(v);
+  if (it == m.end()) return "?";
+  return hetpar::ir::SectionAnalysis::toString(it->second.hull);
+}
+
+void dumpDeps(const hetpar::htg::FrontendBundle& bundle) {
+  using namespace hetpar;
+  const htg::Graph& g = bundle.graph;
+  const ir::SectionAnalysis& sa = *bundle.sections;
+  for (htg::NodeId id = 0; id < static_cast<htg::NodeId>(g.size()); ++id) {
+    const htg::Node& n = g.node(id);
+    if (!n.isHierarchical() || n.edges.empty()) continue;
+    std::printf("region n%d (%s): %zu edges\n", id, n.label.c_str(), n.edges.size());
+    for (const htg::Edge& e : n.edges) {
+      const char* kind = e.kind == ir::DepKind::Flow     ? "flow"
+                         : e.kind == ir::DepKind::Anti   ? "anti"
+                                                         : "output";
+      const std::string from =
+          e.from == n.commIn ? "comm-in" : strings::format("n%d", e.from);
+      const std::string to = e.to == n.commOut ? "comm-out" : strings::format("n%d", e.to);
+      std::printf("  %-6s %s -> %s  %lldB ", kind, from.c_str(), to.c_str(), e.bytes);
+      for (std::size_t i = 0; i < e.vars.size(); ++i)
+        std::printf("%s%s=%s", i == 0 ? "" : ", ", e.vars[i].c_str(),
+                    edgeSection(g, sa, n, e, e.vars[i]).c_str());
+      std::printf("\n");
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -163,18 +230,32 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "hetparc: platform %s, main class %s\n", pf.summary().c_str(),
                  pf.classAt(mainClass).name.c_str());
 
-    htg::FrontendBundle bundle = htg::buildFromSource(readFile(opts.sourcePath));
+    const ir::DependenceMode depMode = opts.depMode == "affine"
+                                           ? ir::DependenceMode::Affine
+                                           : ir::DependenceMode::Conservative;
+    const std::string source = readFile(opts.sourcePath);
+    htg::FrontendBundle bundle = htg::buildFromSource(source, depMode);
     htg::validateOrThrow(bundle.graph);
     std::fprintf(stderr, "hetparc: HTG %zu nodes (%d hierarchical), %.0f profiled ops, "
-                         "checksum %lld\n",
+                         "checksum %lld [%s deps]\n",
                  bundle.graph.size(), bundle.graph.hierarchicalCount(),
-                 bundle.profile.totalOps, bundle.profile.exitValue);
-    if (!opts.emitDot.empty()) writeFile(opts.emitDot, htg::toDot(bundle.graph));
+                 bundle.profile.totalOps, bundle.profile.exitValue, opts.depMode.c_str());
+    if (opts.dumpDeps) dumpDeps(bundle);
+    if (!opts.emitDot.empty()) {
+      if (depMode == ir::DependenceMode::Affine) {
+        const htg::FrontendBundle cons =
+            htg::buildFromSource(source, ir::DependenceMode::Conservative);
+        writeFile(opts.emitDot, htg::toDotWithBaseline(bundle.graph, cons.graph));
+      } else {
+        writeFile(opts.emitDot, htg::toDot(bundle.graph));
+      }
+    }
     if (opts.seqOnly) return 0;
 
     const cost::TimingModel timing(pf);
     parallel::ParallelizerOptions parOpts;
     parOpts.jobs = opts.jobs;
+    parOpts.dependenceMode = depMode;
     parallel::Parallelizer tool(bundle.graph, timing, parOpts);
     parallel::ParallelizeOutcome outcome = tool.run();
     if (opts.stats)
