@@ -77,8 +77,8 @@ struct ExecResult {
 class Interp {
  public:
   Interp(const Program& program, const frontend::SemaResult& sema, const OpCosts& costs,
-         const InterpLimits& limits)
-      : program_(program), costs_(costs), limits_(limits) {
+         const InterpLimits& limits, const AccessObserver* observer)
+      : program_(program), costs_(costs), limits_(limits), observer_(observer) {
     profile_.stmts.resize(static_cast<std::size_t>(sema.numStatements));
   }
 
@@ -87,6 +87,11 @@ class Interp {
     for (const auto& g : program_.globals) {
       countEnter(*g);
       execDecl(static_cast<const DeclStmt&>(*g), globals_, nullptr);
+    }
+    if (observer_ != nullptr && observer_->onGlobalArray) {
+      for (const auto& [name, slot] : globals_)
+        if (auto* arr = std::get_if<std::shared_ptr<ArrayObj>>(&slot))
+          observer_->onGlobalArray(name, arr->get());
     }
     Function& main = program_.entry();
     require(main.params.empty(), "main() must not take parameters");
@@ -171,6 +176,8 @@ class Interp {
           charge(costs_.indexExtra, OpKind::Memory);
         }
         charge(costs_.load, OpKind::Memory);
+        if (observer_ != nullptr && observer_->onAccess)
+          observer_->onAccess(arr.get(), idx, false, attribution_);
         return arr->get(idx);
       }
       case ExprKind::Unary: {
@@ -349,6 +356,8 @@ class Interp {
           }
           const Value v = eval(*s.value, frame);
           charge(costs_.store, OpKind::Memory);
+          if (observer_ != nullptr && observer_->onAccess)
+            observer_->onAccess(arr.get(), idx, true, attribution_);
           arr->set(idx, v);
         }
         return {};
@@ -435,6 +444,7 @@ class Interp {
   const Program& program_;
   const OpCosts& costs_;
   const InterpLimits& limits_;
+  const AccessObserver* observer_;
   Frame globals_;
   std::vector<int> attribution_;
   double totalOps_ = 0.0;
@@ -444,8 +454,9 @@ class Interp {
 }  // namespace
 
 ProgramProfile interpret(const frontend::Program& program, const frontend::SemaResult& sema,
-                         const OpCosts& costs, const InterpLimits& limits) {
-  return Interp(program, sema, costs, limits).run();
+                         const OpCosts& costs, const InterpLimits& limits,
+                         const AccessObserver* observer) {
+  return Interp(program, sema, costs, limits, observer).run();
 }
 
 }  // namespace hetpar::cost

@@ -7,6 +7,8 @@
 // high-level timing model.
 #pragma once
 
+#include <functional>
+
 #include "hetpar/cost/profile.hpp"
 #include "hetpar/frontend/ast.hpp"
 #include "hetpar/frontend/sema.hpp"
@@ -37,10 +39,25 @@ struct InterpLimits {
   long long maxSteps = 200'000'000;  ///< abstract op budget before aborting
 };
 
+/// Optional hooks observing the interpreter's array element traffic; used by
+/// dynamic ground-truth analyses (e.g. the verify harness's section-soundness
+/// relation). `storage` identifies the array object and is stable across
+/// aliasing through array parameters.
+struct AccessObserver {
+  /// Every global array, reported once before main() starts.
+  std::function<void(const std::string& name, const void* storage)> onGlobalArray;
+  /// Every element read/write. `attribution` is the interpreter's statement
+  /// attribution stack (statement ids, outermost first) at the access.
+  std::function<void(const void* storage, const std::vector<long long>& indices,
+                     bool isWrite, const std::vector<int>& attribution)>
+      onAccess;
+};
+
 /// Runs `program` (already analyzed by sema) and returns its profile.
 /// Throws hetpar::Error if the program exceeds the step budget, divides by
 /// zero, or indexes out of bounds.
 ProgramProfile interpret(const frontend::Program& program, const frontend::SemaResult& sema,
-                         const OpCosts& costs = {}, const InterpLimits& limits = {});
+                         const OpCosts& costs = {}, const InterpLimits& limits = {},
+                         const AccessObserver* observer = nullptr);
 
 }  // namespace hetpar::cost

@@ -169,7 +169,11 @@ SectionInfo SectionAnalysis::liftAccess(const std::string& name,
     if (!form) return topSection();
     DimSection d;
     if (form->isConstant()) {
-      d.lo = d.hi = std::clamp(form->c0, 0LL, extent - 1);
+      // An out-of-bounds constant subscript has no sound in-bounds section:
+      // clamping would fabricate a definite+exact access to an element the
+      // program never touches (and feed covers() a bogus kill).
+      if (form->c0 < 0 || form->c0 > extent - 1) return topSection();
+      d.lo = d.hi = form->c0;
       d.stride = 1;
     } else {
       const auto it = ctx.ivs.find(form->iv);
@@ -311,11 +315,25 @@ AccessSummary SectionAnalysis::analyzeStmt(const Stmt& stmt, const Function* fn,
       const auto& s = static_cast<const ForStmt&>(stmt);
       if (s.init) absorb(analyzeStmt(*s.init, fn, here), false);
       Context body = here;
-      const auto ivr = ivRangeOf(s);
+      auto ivr = ivRangeOf(s);
+      // The widening over ivRangeOf assumes the canonical step is the only
+      // update of the IV. A body (or cond) write to it — direct assignment,
+      // a shadowing redeclaration, or a callee writing a same-named global —
+      // makes the actual accesses escape the computed hull, so drop the
+      // range and the certainty; subscripts over the IV then take ⊤.
+      if (ivr) {
+        bool ivMutated = s.cond != nullptr && exprWritesVar(*s.cond, ivr->first);
+        for (const auto& c : s.body)
+          ivMutated = ivMutated || stmtWritesVar(*c, ivr->first);
+        if (ivMutated) {
+          body.ivs.erase(ivr->first);  // defensive: no outer range may survive
+          ivr.reset();
+        }
+      }
       if (ivr)
         body.ivs[ivr->first] = ivr->second;
       else
-        body.definite = false;  // unknown trip count: body may not run at all
+        body.definite = false;  // unknown trip count or unstable IV
       // An early exit breaks the "every iteration completes" widening.
       for (const auto& c : s.body)
         if (subtreeHasReturn(*c)) body.definite = false;
@@ -392,6 +410,101 @@ FunctionSectionEffects SectionAnalysis::computeEffects(const Function& fn) {
   for (const auto& [v, info] : all.writes)
     if (!isParamOrLocal(v)) fx.globalWrites.emplace(v, info);
   return fx;
+}
+
+bool SectionAnalysis::exprWritesVar(const Expr& expr, const std::string& name) const {
+  switch (expr.kind) {
+    case ExprKind::IntLit:
+    case ExprKind::FloatLit:
+    case ExprKind::VarRef:
+      return false;
+    case ExprKind::Index: {
+      const auto& e = static_cast<const IndexExpr&>(expr);
+      for (const auto& i : e.indices)
+        if (exprWritesVar(*i, name)) return true;
+      return false;
+    }
+    case ExprKind::Unary:
+      return exprWritesVar(*static_cast<const UnaryExpr&>(expr).operand, name);
+    case ExprKind::Binary: {
+      const auto& e = static_cast<const BinaryExpr&>(expr);
+      return exprWritesVar(*e.lhs, name) || exprWritesVar(*e.rhs, name);
+    }
+    case ExprKind::Call: {
+      const auto& e = static_cast<const CallExpr&>(expr);
+      for (const auto& a : e.args)
+        if (exprWritesVar(*a, name)) return true;
+      if (frontend::isBuiltinFunction(e.callee)) return false;
+      const Function* callee = program_.findFunction(e.callee);
+      HETPAR_CHECK(callee != nullptr);
+      const FunctionSectionEffects& fx = effects(*callee);
+      if (fx.globalWrites.count(name) != 0) return true;
+      for (const auto& [i, info] : fx.paramWrites) {
+        (void)info;
+        if (i < e.args.size() && e.args[i]->kind == ExprKind::VarRef &&
+            static_cast<const VarRef&>(*e.args[i]).name == name)
+          return true;
+      }
+      return false;
+    }
+  }
+  return true;  // unreachable; conservative
+}
+
+bool SectionAnalysis::stmtWritesVar(const Stmt& stmt, const std::string& name) const {
+  bool writes = false;
+  frontend::forEachStmt(const_cast<Stmt&>(stmt), [&](Stmt& s) {
+    if (writes) return;
+    switch (s.kind) {
+      case StmtKind::Decl: {
+        const auto& d = static_cast<const DeclStmt&>(s);
+        // A shadowing redeclaration rebinds the name for the remainder of
+        // the body, so later subscripts no longer range over the outer IV.
+        if (d.name == name) {
+          writes = true;
+          return;
+        }
+        if (d.init && exprWritesVar(*d.init, name)) writes = true;
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const AssignStmt&>(s);
+        if (a.target == name) {
+          writes = true;
+          return;
+        }
+        for (const auto& i : a.indices)
+          if (exprWritesVar(*i, name)) {
+            writes = true;
+            return;
+          }
+        if (exprWritesVar(*a.value, name)) writes = true;
+        break;
+      }
+      case StmtKind::If:
+        if (exprWritesVar(*static_cast<const IfStmt&>(s).cond, name)) writes = true;
+        break;
+      case StmtKind::For: {
+        const auto& f = static_cast<const ForStmt&>(s);
+        if (f.cond && exprWritesVar(*f.cond, name)) writes = true;
+        break;
+      }
+      case StmtKind::While:
+        if (exprWritesVar(*static_cast<const WhileStmt&>(s).cond, name)) writes = true;
+        break;
+      case StmtKind::Return: {
+        const auto& r = static_cast<const ReturnStmt&>(s);
+        if (r.value && exprWritesVar(*r.value, name)) writes = true;
+        break;
+      }
+      case StmtKind::Expr:
+        if (exprWritesVar(*static_cast<const ExprStmt&>(s).expr, name)) writes = true;
+        break;
+      case StmtKind::Block:
+        break;
+    }
+  });
+  return writes;
 }
 
 // --- Section algebra --------------------------------------------------------

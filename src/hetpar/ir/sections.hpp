@@ -130,6 +130,12 @@ class SectionAnalysis {
                          const frontend::Function* fn, const Context& ctx);
   FunctionSectionEffects computeEffects(const frontend::Function& fn);
 
+  /// May evaluating `expr` write `name`? Covers calls whose callee writes a
+  /// same-named global or writes `name` through an array parameter.
+  bool exprWritesVar(const frontend::Expr& expr, const std::string& name) const;
+  /// May executing the subtree of `stmt` write (or shadow) `name`?
+  bool stmtWritesVar(const frontend::Stmt& stmt, const std::string& name) const;
+
   const frontend::Program& program_;
   const frontend::SemaResult& sema_;
   std::map<const frontend::Stmt*, AccessSummary> perStmt_;

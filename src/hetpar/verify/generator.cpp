@@ -54,7 +54,7 @@ class ChunkGen {
 
   void statement(int depth) {
     if (depth > options_.maxDepth) return;
-    switch (rng_.below(5)) {
+    switch (rng_.below(6)) {
       case 0: {  // elementwise loop
         const std::string iv = "i" + std::to_string(counter_++);
         indent(depth);
@@ -98,6 +98,48 @@ class ChunkGen {
             << iv << "]; }\n";
         indent(depth);
         os_ << "gc[0] = " << s << " % 97;\n";
+        break;
+      }
+      case 4: {  // adversarial shapes: section-analysis soundness probes
+        switch (rng_.below(3)) {
+          case 0: {  // loop body mutates its own induction variable
+            const std::string iv = "i" + std::to_string(counter_++);
+            indent(depth);
+            os_ << "for (int " << iv << " = 0; " << iv << " < " << extent() << "; "
+                << iv << " = " << iv << " + 1) {\n";
+            indent(depth + 1);
+            os_ << array() << "[" << iv << "] = " << array() << "[" << iv << "] + "
+                << rng_.range(1, 8) << ";\n";
+            indent(depth + 1);
+            os_ << "if (" << iv << " % " << rng_.range(3, 5) << " == 1) { " << iv
+                << " = " << iv << " + 1; }\n";
+            indent(depth);
+            os_ << "}\n";
+            break;
+          }
+          case 1: {  // subscript variable written conditionally
+            const std::string v = "x" + std::to_string(counter_++);
+            const int half = extent() / 2;
+            indent(depth);
+            os_ << "int " << v << " = " << rng_.range(0, half - 1) << ";\n";
+            indent(depth);
+            os_ << "if (ga[0] > " << rng_.range(0, 9) << ") { " << v << " = " << v
+                << " + " << half << "; }\n";
+            indent(depth);
+            os_ << array() << "[" << v << "] = " << array() << "[" << v << "] + "
+                << rng_.range(1, 9) << ";\n";
+            break;
+          }
+          default: {  // constant subscripts at the array boundaries
+            indent(depth);
+            os_ << array() << "[0] = " << array() << "[" << (extent() - 1) << "] + "
+                << rng_.range(1, 9) << ";\n";
+            indent(depth);
+            os_ << array() << "[" << (extent() - 1) << "] = " << array() << "[0] + "
+                << rng_.range(1, 9) << ";\n";
+            break;
+          }
+        }
         break;
       }
       default: {  // affine-subscript loop (offset / strided / disjoint halves)

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "hetpar/cost/interp.hpp"
 #include "hetpar/htg/builder.hpp"
 #include "hetpar/htg/validate.hpp"
 #include "hetpar/ilp/branch_and_bound.hpp"
@@ -384,6 +385,144 @@ RelationResult checkScheduleValidity(const std::string& source, const platform::
   return pass(kR);
 }
 
+RelationResult checkSectionSoundness(const std::string& source) {
+  constexpr Relation kR = Relation::SectionSoundness;
+  htg::FrontendBundle bundle = htg::buildFromSource(source, ir::DependenceMode::Affine);
+  const frontend::Function& mainFn = bundle.program.entry();
+
+  // Statement id -> index of its enclosing top-level statement of main().
+  // The interpreter's attribution stack resolves through here, so callee
+  // accesses land on the call site's top-level statement.
+  std::map<int, int> topOf;
+  for (std::size_t t = 0; t < mainFn.body.size(); ++t)
+    frontend::forEachStmt(*mainFn.body[t],
+                          [&](frontend::Stmt& s) { topOf[s.id] = static_cast<int>(t); });
+
+  // A local (or parameter) shadowing a global array makes the storage-based
+  // name attribution ambiguous; skip such variables entirely.
+  std::set<std::string> shadowed;
+  for (const auto& fn : bundle.program.functions) {
+    for (const auto& p : fn->params)
+      if (bundle.sema.globals.count(p.name) != 0) shadowed.insert(p.name);
+    for (const auto& s : fn->body)
+      frontend::forEachStmt(*s, [&](frontend::Stmt& st) {
+        if (st.kind != frontend::StmtKind::Decl) return;
+        const auto& d = static_cast<const frontend::DeclStmt&>(st);
+        if (bundle.sema.globals.count(d.name) != 0) shadowed.insert(d.name);
+      });
+  }
+
+  std::map<const void*, std::string> nameOfStorage;
+  std::map<std::string, const void*> storageOfName;
+  using ElemSet = std::set<std::vector<long long>>;
+  std::map<std::pair<int, const void*>, ElemSet> reads, writes;
+
+  cost::AccessObserver obs;
+  obs.onGlobalArray = [&](const std::string& name, const void* storage) {
+    nameOfStorage[storage] = name;
+    storageOfName[name] = storage;
+  };
+  obs.onAccess = [&](const void* storage, const std::vector<long long>& idx, bool isWrite,
+                     const std::vector<int>& attribution) {
+    if (nameOfStorage.find(storage) == nameOfStorage.end()) return;  // local array
+    for (int id : attribution) {
+      const auto it = topOf.find(id);
+      if (it == topOf.end()) continue;
+      (isWrite ? writes : reads)[{it->second, storage}].insert(idx);
+      return;  // attribute to the outermost enclosing main() statement only
+    }
+  };
+
+  cost::ProgramProfile profile;
+  try {
+    profile = cost::interpret(bundle.program, bundle.sema, {}, {}, &obs);
+  } catch (const Error& e) {
+    return skip(kR, std::string("program does not execute cleanly: ") + e.what());
+  }
+
+  const auto inHull = [](const ir::ArraySection& hull, const std::vector<long long>& idx) {
+    if (hull.whole) return true;
+    if (hull.dims.size() != idx.size()) return false;
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      const ir::DimSection& d = hull.dims[k];
+      if (idx[k] < d.lo || idx[k] > d.hi) return false;
+      if ((idx[k] - d.lo) % d.stride != 0) return false;
+    }
+    return true;
+  };
+  const auto fmtIdx = [](const std::vector<long long>& idx) {
+    std::string out;
+    for (long long v : idx) out += strings::format("[%lld]", v);
+    return out;
+  };
+
+  for (std::size_t t = 0; t < mainFn.body.size(); ++t) {
+    const frontend::Stmt& stmt = *mainFn.body[t];
+    const ir::AccessSummary& su = bundle.sections->of(stmt);
+
+    // (a) Hull soundness: every traced access lies inside the claimed hull.
+    for (const bool isWrite : {false, true}) {
+      const auto& traced = isWrite ? writes : reads;
+      const auto& claimed = isWrite ? su.writes : su.reads;
+      const char* dir = isWrite ? "write" : "read";
+      for (const auto& [key, elems] : traced) {
+        if (key.first != static_cast<int>(t)) continue;
+        const std::string& name = nameOfStorage.at(key.second);
+        if (shadowed.count(name) != 0) continue;
+        const auto it = claimed.find(name);
+        if (it == claimed.end())
+          return fail(kR, strings::format("statement %zu %ss '%s' but its summary has no %s "
+                                          "entry for it",
+                                          t, dir, name.c_str(), dir));
+        for (const auto& idx : elems)
+          if (!inHull(it->second.hull, idx))
+            return fail(kR, strings::format(
+                                "statement %zu: actual %s of '%s%s' escapes the claimed "
+                                "hull %s",
+                                t, dir, name.c_str(), fmtIdx(idx).c_str(),
+                                ir::SectionAnalysis::toString(it->second.hull).c_str()));
+      }
+    }
+
+    // (b) Kill-certainty soundness: a mustCover() write must really have
+    // touched every element of its hull during the statement's execution.
+    if (profile.stmts[static_cast<std::size_t>(stmt.id)].execCount != 1) continue;
+    for (const auto& [name, info] : su.writes) {
+      if (!info.mustCover() || shadowed.count(name) != 0) continue;
+      const auto git = bundle.sema.globals.find(name);
+      if (git == bundle.sema.globals.end() || git->second.dims.empty()) continue;
+      const frontend::Type& type = git->second;
+      std::vector<ir::DimSection> dims;
+      if (!info.hull.whole && info.hull.dims.size() == type.dims.size()) {
+        dims = info.hull.dims;
+      } else {
+        for (int extent : type.dims) dims.push_back(ir::DimSection{0, extent - 1, 1});
+      }
+      const auto wit = writes.find({static_cast<int>(t), storageOfName.at(name)});
+      const ElemSet* written = wit == writes.end() ? nullptr : &wit->second;
+      std::vector<long long> idx(dims.size());
+      std::function<std::string(std::size_t)> walk = [&](std::size_t k) -> std::string {
+        if (k == dims.size()) {
+          if (written == nullptr || written->count(idx) == 0)
+            return strings::format("statement %zu claims a definite exact write of '%s' "
+                                   "hull %s but never wrote element %s",
+                                   t, name.c_str(),
+                                   ir::SectionAnalysis::toString(info.hull).c_str(),
+                                   fmtIdx(idx).c_str());
+          return "";
+        }
+        for (long long v = dims[k].lo; v <= dims[k].hi; v += dims[k].stride) {
+          idx[k] = v;
+          if (std::string err = walk(k + 1); !err.empty()) return err;
+        }
+        return "";
+      };
+      if (std::string err = walk(0); !err.empty()) return fail(kR, err);
+    }
+  }
+  return pass(kR);
+}
+
 // ---------------------------------------------------------------------------
 // Region-level relations
 // ---------------------------------------------------------------------------
@@ -480,7 +619,7 @@ std::vector<Relation> allRelations() {
           Relation::CacheInvariance, Relation::GaVsIlp,
           Relation::OracleTask,     Relation::OracleChunk,
           Relation::SimConsistency, Relation::RefinementSoundness,
-          Relation::ScheduleValidity};
+          Relation::ScheduleValidity, Relation::SectionSoundness};
 }
 
 std::string relationName(Relation r) {
@@ -496,6 +635,7 @@ std::string relationName(Relation r) {
     case Relation::SimConsistency: return "sim-consistency";
     case Relation::RefinementSoundness: return "refinement-soundness";
     case Relation::ScheduleValidity: return "schedule-validity";
+    case Relation::SectionSoundness: return "section-soundness";
   }
   return "unknown";
 }
@@ -592,6 +732,8 @@ RelationResult checkProgramRelation(Relation r, const std::string& source,
       return checkRefinementSoundness(source);
     case Relation::ScheduleValidity:
       return checkScheduleValidity(source, pf, options);
+    case Relation::SectionSoundness:
+      return checkSectionSoundness(source);
     default:
       break;
   }

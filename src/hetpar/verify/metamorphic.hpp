@@ -29,6 +29,14 @@
 //                        no section-level hazard: tasks whose access
 //                        summaries may conflict never overlap in simulated
 //                        time on different cores
+//   SectionSoundness     ground truth for the section analysis: the
+//                        interpreter traces every global-array element
+//                        access and checks, per top-level statement, that
+//                        actual accesses stay inside the claimed hulls and
+//                        that every mustCover() write really touched its
+//                        whole hull. Unlike ScheduleValidity (which judges
+//                        conflicts with the analysis' own sections), this
+//                        can falsify the analysis itself.
 //
 // Program-level relations take (source, platform) — which is what lets the
 // delta-debugging shrinker re-check a reduced program. Region-level
@@ -56,6 +64,7 @@ enum class Relation {
   SimConsistency,
   RefinementSoundness,
   ScheduleValidity,
+  SectionSoundness,
 };
 
 /// All relations, in a stable order (the fuzzer round-robins over these).

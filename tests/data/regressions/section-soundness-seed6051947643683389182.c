@@ -1,0 +1,17 @@
+// hetpar-fuzz regression: relation section-soundness, case seed 6051947643683389182
+int ga[128];
+int gb[128];
+int gc[128];
+int helper(int v) { return v * 3 + 1; }
+void fill(int dst[128], int base) {
+  for (int i = 0; i < 128; i = i + 1) { dst[i] = base + i; }
+}
+int main() {
+    for (int i0 = 0; i0 < 128; i0 = i0 + 1) {
+      gc[i0] = gb[i0] + 3;
+      if (i0 % 4 == 1) { i0 = i0 + 1; }
+    }
+  int acc = 0;
+  for (int i = 0; i < 128; i = i + 1) { acc = acc + ga[i] + gb[i] + gc[i]; }
+  return acc + 1;
+}

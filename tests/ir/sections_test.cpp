@@ -76,6 +76,63 @@ TEST(Sections, ConditionalWriteIsNotDefinite) {
   EXPECT_FALSE(w.mustCover());
 }
 
+TEST(Sections, IvMutatingBodyDropsWidening) {
+  // The body bumps i past the canonical range: the only touched element is
+  // a[7], so a hull of [0:2] would be unsound. The IV range must be dropped
+  // and the write demoted to the indefinite whole-object fallback.
+  Ctx c(R"(int a[16]; int main() {
+    for (int i = 0; i < 3; i = i + 1) { i = i + 7; a[i] = 1; }
+    return a[0];
+  })");
+  const SectionInfo& w = c.sa->of(c.mainStmt(0)).writes.at("a");
+  EXPECT_TRUE(w.hull.whole) << "IV-mutating body must not widen over ivRangeOf";
+  EXPECT_FALSE(w.definite);
+  EXPECT_FALSE(w.mustCover());
+}
+
+TEST(Sections, CalleeWritingGlobalIvDropsWidening) {
+  Ctx c(R"(int i; int a[16];
+    void bump() { i = i + 7; }
+    int main() {
+      for (i = 0; i < 16; i = i + 1) { a[i] = 1; bump(); }
+      return a[0];
+    })");
+  const SectionInfo& w = c.sa->of(c.mainStmt(0)).writes.at("a");
+  EXPECT_TRUE(w.hull.whole) << "a callee writing the global IV breaks the widening";
+  EXPECT_FALSE(w.mustCover());
+}
+
+TEST(Sections, InnerWriteToOuterIvDropsOuterWidening) {
+  Ctx c(R"(int a[16]; int main() {
+    for (int i = 0; i < 4; i = i + 1) {
+      for (int j = 0; j < 2; j = j + 1) { i = i + 1; }
+      a[i] = 1;
+    }
+    return a[0];
+  })");
+  const SectionInfo& w = c.sa->of(c.mainStmt(0)).writes.at("a");
+  EXPECT_TRUE(w.hull.whole) << "nested write to the outer IV breaks the widening";
+  EXPECT_FALSE(w.mustCover());
+}
+
+TEST(Sections, OutOfBoundsConstantSubscriptIsTop) {
+  Ctx c(R"(int a[16]; int main() {
+    a[16] = 1;
+    a[0 - 1] = 2;
+    a[15] = 3;
+    return a[0];
+  })");
+  const SectionInfo& past = c.sa->of(c.mainStmt(0)).writes.at("a");
+  EXPECT_TRUE(past.hull.whole) << "clamping would fabricate a kill of a[15]";
+  EXPECT_FALSE(past.mustCover());
+  const SectionInfo& neg = c.sa->of(c.mainStmt(1)).writes.at("a");
+  EXPECT_TRUE(neg.hull.whole);
+  EXPECT_FALSE(neg.mustCover());
+  const SectionInfo& last = c.sa->of(c.mainStmt(2)).writes.at("a");
+  expectDim(last.hull, 15, 15, 1);
+  EXPECT_TRUE(last.mustCover()) << "in-bounds boundary constants stay exact";
+}
+
 TEST(Sections, InterproceduralParamSections) {
   Ctx c(R"(
     int dst[16];

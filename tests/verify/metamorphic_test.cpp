@@ -60,6 +60,29 @@ TEST(MetamorphicTest, RegionRelationsPassOnSeeds) {
   }
 }
 
+TEST(MetamorphicTest, SectionSoundnessPassesOnIvMutatingLoop) {
+  // An IV-mutating body once made the section analysis claim a definite
+  // exact full sweep it never performed; the ground-truth trace relation
+  // must agree with the (now conservative) analysis on this shape.
+  const std::string source = R"(
+    int ga[16]; int gb[16]; int gc[16];
+    int main() {
+      for (int i = 0; i < 16; i = i + 1) {
+        gc[i] = gb[i] + 3;
+        if (i % 4 == 1) { i = i + 1; }
+      }
+      int acc = 0;
+      for (int i = 0; i < 16; i = i + 1) { acc = acc + ga[i] + gb[i] + gc[i]; }
+      return acc + 1;
+    }
+  )";
+  const platform::Platform pf = verify::generatePlatform(1);
+  const verify::RelationResult result =
+      verify::checkProgramRelation(verify::Relation::SectionSoundness, source, pf);
+  EXPECT_FALSE(result.skipped) << result.detail;
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
 TEST(MetamorphicTest, SingleClassRelationEngagesOnSingleClassPlatform) {
   verify::PlatformGeneratorOptions pfOptions;
   pfOptions.minClasses = 1;
