@@ -9,7 +9,7 @@
 
 #include "hetpar/benchsuite/suite.hpp"
 #include "hetpar/platform/presets.hpp"
-#include "hetpar/sim/measure.hpp"
+#include "hetpar/pipeline/evaluate.hpp"
 
 int main() {
   using namespace hetpar;
@@ -43,10 +43,10 @@ int main() {
 
     for (const Config& cfg : configs) {
       std::fprintf(stderr, "[ablation] %s / %s ...\n", name, cfg.label);
-      sim::EvalOptions opts;
+      pipeline::EvalOptions opts;
       opts.parallelizer = cfg.options;
-      const sim::EvalResult r = sim::evaluateBenchmark(
-          name, b.source, platform::platformA(), sim::Scenario::Accelerator, opts);
+      const pipeline::EvalResult r = pipeline::evaluateBenchmark(
+          name, b.source, platform::platformA(), pipeline::Scenario::Accelerator, opts);
       std::printf("%-12s %-28s %11.2fx %11.2fx\n", name, cfg.label, r.heterogeneousSpeedup,
                   r.homogeneousSpeedup);
     }
@@ -60,10 +60,10 @@ int main() {
                           {{"arm_100", 100.0, 1}, {"arm_250", 250.0, 1}, {"arm_500", 500.0, 2}},
                           platform::platformA().interconnect(), tcoUs * 1e-6);
     std::fprintf(stderr, "[ablation] tco=%.0fus ...\n", tcoUs);
-    const sim::EvalOptions opts;
-    const sim::EvalResult r =
-        sim::evaluateBenchmark("fir_256", benchsuite::find("fir_256").source, pf,
-                               sim::Scenario::Accelerator, opts);
+    const pipeline::EvalOptions opts;
+    const pipeline::EvalResult r =
+        pipeline::evaluateBenchmark("fir_256", benchsuite::find("fir_256").source, pf,
+                               pipeline::Scenario::Accelerator, opts);
     std::printf("%-16.0f %11.2fx\n", tcoUs, r.heterogeneousSpeedup);
   }
   return 0;

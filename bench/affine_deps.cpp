@@ -10,7 +10,7 @@
 
 #include "affine_programs.hpp"
 #include "hetpar/platform/presets.hpp"
-#include "hetpar/sim/measure.hpp"
+#include "hetpar/pipeline/evaluate.hpp"
 
 namespace {
 
@@ -18,7 +18,7 @@ using namespace hetpar;
 
 double estimate(const char* source, const platform::Platform& pf, ir::DependenceMode mode) {
   return bench::ilpEstimatedSpeedup(source, pf,
-                                    sim::mainClassFor(pf, sim::Scenario::Accelerator), mode);
+                                    pipeline::mainClassFor(pf, pipeline::Scenario::Accelerator), mode);
 }
 
 const char* modeName(ir::DependenceMode mode) {

@@ -1,13 +1,17 @@
 // Shared helpers for the paper-reproduction bench binaries.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "hetpar/benchsuite/suite.hpp"
-#include "hetpar/sim/measure.hpp"
+#include "hetpar/pipeline/evaluate.hpp"
 #include "hetpar/support/error.hpp"
 #include "hetpar/support/strings.hpp"
 
@@ -17,12 +21,12 @@ namespace hetpar::bench {
 /// parallelization is platform-dependent but scenario-independent, so it
 /// runs once; the homogeneous baseline re-plans per scenario (its uniform
 /// platform view is derived from the scenario's main core).
-using ScenarioPair = sim::ScenarioResults;
+using ScenarioPair = pipeline::ScenarioResults;
 
 inline ScenarioPair evaluateBoth(const std::string& name, const std::string& source,
                                  const platform::Platform& pf,
-                                 const sim::EvalOptions& options = {}) {
-  return sim::evaluateBenchmarkAllScenarios(name, source, pf, options);
+                                 const pipeline::EvalOptions& options = {}) {
+  return pipeline::evaluateBenchmarkAllScenarios(name, source, pf, options);
 }
 
 /// Flags shared by the bench binaries.
@@ -85,6 +89,106 @@ inline BenchArgs parseBenchArgs(int argc, char** argv) {
 /// Parses `--benchmarks a,b,c` style filters; empty = full suite.
 inline std::vector<benchsuite::Benchmark> selectBenchmarks(int argc, char** argv) {
   return parseBenchArgs(argc, argv).benchmarks;
+}
+
+/// BENCH_parallelizer.json records the repo's perf trajectory as one JSON
+/// object per bench binary, keyed by bench name:
+///
+///   { "speedup_jobs": {...}, "pipeline_batch": {...} }
+///
+/// Each binary rewrites only its own section via updateBenchJson, so running
+/// one bench never clobbers another's recorded numbers. The splitter below
+/// is a minimal top-level-object scanner (strings and nesting respected),
+/// not a general JSON parser — enough to round-trip what the binaries emit.
+/// A legacy file whose top level IS one bench record (`"bench": "<name>"`)
+/// is migrated into that bench's section on first update.
+inline std::map<std::string, std::string> readBenchSections(const std::string& path) {
+  std::map<std::string, std::string> sections;
+  std::ifstream in(path);
+  if (!in.good()) return sections;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  const std::size_t open = text.find('{');
+  if (open == std::string::npos) return sections;
+  std::size_t i = open + 1;
+  auto skipSpace = [&] {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  };
+  auto readString = [&]() -> std::string {
+    std::string out;
+    ++i;  // opening quote
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) out += text[i++];
+      out += text[i++];
+    }
+    ++i;  // closing quote
+    return out;
+  };
+  while (true) {
+    skipSpace();
+    if (i >= text.size() || text[i] == '}') break;
+    if (text[i] == ',') { ++i; continue; }
+    if (text[i] != '"') break;  // malformed: keep what we have
+    const std::string key = readString();
+    skipSpace();
+    if (i >= text.size() || text[i] != ':') break;
+    ++i;
+    skipSpace();
+    const std::size_t valueStart = i;
+    int depth = 0;
+    bool inString = false;
+    for (; i < text.size(); ++i) {
+      const char c = text[i];
+      if (inString) {
+        if (c == '\\') ++i;
+        else if (c == '"') inString = false;
+      } else if (c == '"') {
+        inString = true;
+      } else if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        if (depth == 0) break;  // closing the top-level object
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        break;
+      }
+    }
+    std::string value = text.substr(valueStart, i - valueStart);
+    while (!value.empty() && std::isspace(static_cast<unsigned char>(value.back())))
+      value.pop_back();
+    sections[key] = std::move(value);
+  }
+
+  // Legacy single-record layout: {"bench": "name", ...} -> one section.
+  const auto legacy = sections.find("bench");
+  if (legacy != sections.end() && legacy->second.size() >= 2 &&
+      legacy->second.front() == '"') {
+    const std::string name = legacy->second.substr(1, legacy->second.size() - 2);
+    std::string whole{strings::trim(text)};
+    std::map<std::string, std::string> migrated;
+    migrated[name] = std::move(whole);
+    return migrated;
+  }
+  return sections;
+}
+
+/// Replaces (or adds) one bench's section and rewrites `path`. `body` must
+/// be a complete JSON value, normally an object.
+inline void updateBenchJson(const std::string& path, const std::string& name,
+                            const std::string& body) {
+  std::map<std::string, std::string> sections = readBenchSections(path);
+  sections[name] = body;
+  std::ofstream out(path);
+  if (!out.good()) throw Error("cannot write " + path);
+  out << "{\n";
+  std::size_t n = 0;
+  for (const auto& [key, value] : sections) {
+    out << "  \"" << key << "\": " << value;
+    out << (++n < sections.size() ? ",\n" : "\n");
+  }
+  out << "}\n";
 }
 
 inline void printScenarioTable(const char* title, double limit,

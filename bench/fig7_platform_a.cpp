@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   using namespace hetpar;
   const platform::Platform pf = platform::platformA();
   const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
-  sim::EvalOptions evalOptions;
+  pipeline::EvalOptions evalOptions;
   evalOptions.parallelizer.jobs = args.jobs;
 
   std::vector<std::string> names;

@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
   using namespace hetpar;
   const platform::Platform pf = platform::platformB();
   const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
-  sim::EvalOptions evalOptions;
+  pipeline::EvalOptions evalOptions;
   evalOptions.parallelizer.jobs = args.jobs;
 
   std::vector<std::string> names;

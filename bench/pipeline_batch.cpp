@@ -1,0 +1,119 @@
+// Measures the staged pipeline's batch driver over the example set:
+// cold-vs-warm persistent-cache compile times plus a workers sweep, recorded
+// in the "pipeline_batch" section of BENCH_parallelizer.json.
+//
+// Per workers level the example programs are compiled twice through
+// pipeline::runBatch against a fresh on-disk artifact cache: the first run
+// is cold (every parallelize outcome is solved and stored), the second is
+// warm (every outcome is served from the cache). The cold runs across
+// levels double as the jobs sweep. The acceptance bar from the pipeline PR:
+// warm must be >= 5x faster than cold — a warm hit deserializes an outcome
+// instead of re-running the ILP solver, so in practice the ratio is orders
+// of magnitude.
+//
+//   pipeline_batch [--benchmarks a,b,c] [--jobs N]
+//
+// Without --jobs the workers ladder is 1/2/4; with --jobs N it is 1/N.
+#include "common.hpp"
+
+#include <filesystem>
+#include <memory>
+#include <thread>
+
+#include "hetpar/pipeline/batch.hpp"
+#include "hetpar/platform/presets.hpp"
+
+namespace {
+
+struct LevelResult {
+  int workers = 1;
+  double coldSeconds = 0.0;
+  double warmSeconds = 0.0;
+  long long coldMisses = 0;
+  long long warmHits = 0;
+  int failures = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hetpar;
+  namespace fs = std::filesystem;
+  const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+
+  std::vector<int> levels = {1, 2, 4};
+  if (args.jobs != 1) levels = {1, args.jobs};
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw < 2)
+    std::fprintf(stderr,
+                 "[pipeline_batch] warning: only %u hardware thread(s); the workers "
+                 "sweep measures scheduling overhead, not scaling\n",
+                 hw == 0 ? 1 : hw);
+
+  std::vector<pipeline::BatchJob> jobs;
+  for (const auto& b : args.benchmarks) jobs.push_back({b.name, b.source});
+
+  const fs::path cacheRoot =
+      fs::temp_directory_path() / "hetpar-pipeline-batch-bench";
+  fs::remove_all(cacheRoot);
+
+  std::vector<LevelResult> results;
+  for (const int workers : levels) {
+    pipeline::BatchConfig config;
+    config.platform = platform::platformA();
+    config.simulate = true;
+    config.workers = workers;
+    config.regionCache = std::make_shared<parallel::IlpRegionCache>();
+    config.artifactCache = std::make_shared<pipeline::ArtifactCache>(
+        (cacheRoot / ("workers" + std::to_string(workers))).string());
+
+    LevelResult r;
+    r.workers = workers;
+    std::fprintf(stderr, "[pipeline_batch] workers=%d cold ...\n", workers);
+    const pipeline::BatchReport cold = pipeline::runBatch(jobs, config);
+    r.coldSeconds = cold.wallSeconds;
+    r.failures = cold.failures;
+    for (const pipeline::PassRecord& rec : cold.allPasses()) r.coldMisses += rec.cacheMisses;
+
+    std::fprintf(stderr, "[pipeline_batch] workers=%d warm ...\n", workers);
+    const pipeline::BatchReport warm = pipeline::runBatch(jobs, config);
+    r.warmSeconds = warm.wallSeconds;
+    r.failures += warm.failures;
+    for (const pipeline::PassRecord& rec : warm.allPasses()) r.warmHits += rec.cacheHits;
+    results.push_back(r);
+  }
+  fs::remove_all(cacheRoot);
+
+  std::printf("\nBatch compile, cold vs warm artifact cache (%zu programs)\n", jobs.size());
+  std::printf("%8s %12s %12s %12s %12s %10s\n", "workers", "cold [s]", "warm [s]",
+              "warm gain", "cold miss", "warm hit");
+  for (const LevelResult& r : results)
+    std::printf("%8d %12.2f %12.4f %11.1fx %12lld %10lld\n", r.workers, r.coldSeconds,
+                r.warmSeconds, r.warmSeconds > 0 ? r.coldSeconds / r.warmSeconds : 0.0,
+                r.coldMisses, r.warmHits);
+
+  std::ostringstream json;
+  json << "{\n    \"hardware_concurrency\": " << hw << ",\n";
+  json << "    \"benchmarks\": [";
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    json << (i ? ", " : "") << '"' << jobs[i].name << '"';
+  json << "],\n    \"levels\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const LevelResult& r = results[i];
+    json << "      {\"workers\": " << r.workers
+         << ", \"cold_wall_seconds\": " << r.coldSeconds
+         << ", \"warm_wall_seconds\": " << r.warmSeconds << ", \"warm_speedup\": "
+         << (r.warmSeconds > 0 ? r.coldSeconds / r.warmSeconds : 0.0)
+         << ", \"cold_cache_misses\": " << r.coldMisses
+         << ", \"warm_cache_hits\": " << r.warmHits << ", \"failures\": " << r.failures
+         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "    ]\n  }";
+  bench::updateBenchJson("BENCH_parallelizer.json", "pipeline_batch", json.str());
+  std::fprintf(stderr, "[pipeline_batch] updated BENCH_parallelizer.json\n");
+
+  int failures = 0;
+  for (const LevelResult& r : results) failures += r.failures;
+  return failures == 0 ? 0 : 2;
+}

@@ -110,26 +110,22 @@ int main(int argc, char** argv) {
                 r.wallSeconds > 0 ? base / r.wallSeconds : 0.0, r.ilpSolves, r.cacheHits,
                 r.cacheMisses);
 
-  std::ofstream json("BENCH_parallelizer.json");
-  if (!json.good()) {
-    std::fprintf(stderr, "[speedup_jobs] cannot write BENCH_parallelizer.json\n");
-    return 1;
-  }
-  json << "{\n  \"bench\": \"speedup_jobs\",\n";
-  json << "  \"hardware_concurrency\": " << hw << ",\n";
-  json << "  \"benchmarks\": [";
+  std::ostringstream json;
+  json << "{\n    \"hardware_concurrency\": " << hw << ",\n";
+  json << "    \"benchmarks\": [";
   for (std::size_t i = 0; i < prepared.size(); ++i)
     json << (i ? ", " : "") << '"' << prepared[i].name << '"';
-  json << "],\n  \"levels\": [\n";
+  json << "],\n    \"levels\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const LevelResult& r = results[i];
-    json << "    {\"jobs\": " << r.jobs << ", \"wall_seconds\": " << r.wallSeconds
+    json << "      {\"jobs\": " << r.jobs << ", \"wall_seconds\": " << r.wallSeconds
          << ", \"speedup_vs_jobs1\": " << (r.wallSeconds > 0 ? base / r.wallSeconds : 0.0)
          << ", \"ilp_solves\": " << r.ilpSolves << ", \"cache_hits\": " << r.cacheHits
          << ", \"cache_misses\": " << r.cacheMisses << "}" << (i + 1 < results.size() ? "," : "")
          << "\n";
   }
-  json << "  ]\n}\n";
-  std::fprintf(stderr, "[speedup_jobs] wrote BENCH_parallelizer.json\n");
+  json << "    ]\n  }";
+  bench::updateBenchJson("BENCH_parallelizer.json", "speedup_jobs", json.str());
+  std::fprintf(stderr, "[speedup_jobs] updated BENCH_parallelizer.json\n");
   return 0;
 }

@@ -6,7 +6,7 @@
 
 #include "hetpar/benchsuite/suite.hpp"
 #include "hetpar/platform/presets.hpp"
-#include "hetpar/sim/measure.hpp"
+#include "hetpar/pipeline/evaluate.hpp"
 
 int main() {
   using namespace hetpar;
@@ -21,8 +21,8 @@ int main() {
     const platform::Platform pf =
         platform::custom("sweep", {{littleMHz, 2}, {500.0, 2}});
     std::fprintf(stderr, "[explorer] little=%.1f MHz ...\n", littleMHz);
-    const sim::EvalResult r = sim::evaluateBenchmark(
-        bench.name, bench.source, pf, sim::Scenario::SlowerCores);
+    const pipeline::EvalResult r = pipeline::evaluateBenchmark(
+        bench.name, bench.source, pf, pipeline::Scenario::SlowerCores);
     std::printf("%-14.1f %9.2fx %11.2fx %11.2fx %11.2f\n", littleMHz, r.theoreticalLimit,
                 r.heterogeneousSpeedup, r.homogeneousSpeedup,
                 r.heterogeneousSpeedup / r.homogeneousSpeedup);

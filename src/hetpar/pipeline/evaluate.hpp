@@ -1,15 +1,22 @@
-// Evaluation harness (paper Section V-VI): parallelize a benchmark with the
-// heterogeneous tool and the homogeneous baseline [6], implement both
-// solutions, and measure speedups on the simulated MPSoC. The measurement
-// baseline is "the sequential execution on the main processor".
+// Evaluation harness (paper Section V-VI), as a pipeline client: parallelize
+// a benchmark with the heterogeneous tool and the homogeneous baseline [6],
+// implement both solutions, and measure speedups on the simulated MPSoC.
+// The measurement baseline is "the sequential execution on the main
+// processor".
+//
+// Lived in sim/measure until the staged pipeline existed; it now drives a
+// Session per benchmark (named passes, timing records, optional persistent
+// artifact cache) instead of wiring the stages by hand.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "hetpar/parallel/parallelizer.hpp"
+#include "hetpar/pipeline/artifact_cache.hpp"
 #include "hetpar/platform/platform.hpp"
 
-namespace hetpar::sim {
+namespace hetpar::pipeline {
 
 /// The two application scenarios of Section VI-A.
 enum class Scenario {
@@ -23,6 +30,9 @@ platform::ClassId mainClassFor(const platform::Platform& pf, Scenario scenario);
 struct EvalOptions {
   parallel::ParallelizerOptions parallelizer;
   bool runHomogeneousBaseline = true;
+  /// Optional persistent cache for the heterogeneous planning outcome
+  /// (shared across benchmarks, platforms and processes).
+  std::shared_ptr<ArtifactCache> artifactCache;
 };
 
 struct EvalResult {
@@ -41,8 +51,8 @@ struct EvalResult {
   double theoreticalLimit = 0.0;  ///< paper's dashed line
 };
 
-/// Full pipeline: parse/profile/HTG + both parallelizers + flatten +
-/// simulate. Throws hetpar::Error on malformed input.
+/// Full pipeline: frontend passes + both parallelizers + flatten + simulate.
+/// Throws hetpar::Error on malformed input.
 EvalResult evaluateBenchmark(const std::string& name, const std::string& source,
                              const platform::Platform& pf, Scenario scenario,
                              const EvalOptions& options = {});
@@ -61,4 +71,4 @@ ScenarioResults evaluateBenchmarkAllScenarios(const std::string& name,
                                               const platform::Platform& pf,
                                               const EvalOptions& options = {});
 
-}  // namespace hetpar::sim
+}  // namespace hetpar::pipeline

@@ -1,0 +1,62 @@
+// Pass bookkeeping for the staged compilation pipeline.
+//
+// Every Session runs its stages as named passes (parse, sema, sections,
+// htg, parallelize, simulate, emit) and records one PassRecord per
+// execution: wall time, an artifact-size estimate, and — for cacheable
+// passes — whether the artifact came from the persistent cache. Records
+// live in two places: the owning Session (per-run report, `hetparc
+// --explain-timings`) and a process-wide TimingRegistry that aggregates
+// across sessions (batch driver summary, hetpar-fuzz JSON report).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hetpar::pipeline {
+
+struct PassRecord {
+  std::string name;
+  double wallSeconds = 0.0;
+  /// Rough size of the produced artifact in bytes (serialized size for
+  /// cacheable artifacts, container byte estimates otherwise; 0 = unsized).
+  long long artifactBytes = 0;
+  /// Persistent-artifact-cache traffic attributable to this pass execution.
+  /// Both stay 0 for passes with no cacheable artifact or when no cache is
+  /// configured.
+  long long cacheHits = 0;
+  long long cacheMisses = 0;
+};
+
+struct PassTotals {
+  long long runs = 0;
+  double wallSeconds = 0.0;
+  long long artifactBytes = 0;
+  long long cacheHits = 0;
+  long long cacheMisses = 0;
+};
+
+/// Thread-safe process-wide aggregation, keyed by pass name. Sessions and
+/// the free-standing pipeline helpers report into `global()`; readers take a
+/// snapshot. Purely observational: nothing in the pipeline consults it.
+class TimingRegistry {
+ public:
+  static TimingRegistry& global();
+
+  void record(const PassRecord& r);
+  std::map<std::string, PassTotals> snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, PassTotals> totals_;
+};
+
+/// Renders a per-pass table (one line per pass plus a total line), used by
+/// `hetparc --explain-timings`. Works for both a single session's records
+/// and a registry snapshot collapsed into records.
+std::string formatPassTable(const std::vector<PassRecord>& records);
+std::string formatPassTable(const std::map<std::string, PassTotals>& totals);
+
+}  // namespace hetpar::pipeline

@@ -1,0 +1,249 @@
+#include "hetpar/pipeline/session.hpp"
+
+#include <chrono>
+
+#include "hetpar/codegen/annotate.hpp"
+#include "hetpar/codegen/mpa_spec.hpp"
+#include "hetpar/codegen/premap_spec.hpp"
+#include "hetpar/cost/interp.hpp"
+#include "hetpar/frontend/parser.hpp"
+#include "hetpar/htg/dot.hpp"
+#include "hetpar/htg/validate.hpp"
+#include "hetpar/pipeline/digest.hpp"
+#include "hetpar/platform/parser.hpp"
+#include "hetpar/sched/flatten.hpp"
+#include "hetpar/sim/mpsoc.hpp"
+#include "hetpar/support/error.hpp"
+
+namespace hetpar::pipeline {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void report(std::vector<PassRecord>* records, PassRecord rec) {
+  TimingRegistry::global().record(rec);
+  if (records != nullptr) records->push_back(std::move(rec));
+}
+
+}  // namespace
+
+htg::FrontendBundle buildFrontend(std::string_view source, ir::DependenceMode mode,
+                                  std::vector<PassRecord>* records) {
+  // Mirrors htg::buildFromSource stage for stage (same calls, same order),
+  // adding only timing. The produced bundle is bit-identical to it.
+  htg::FrontendBundle bundle;
+  {
+    const auto start = Clock::now();
+    bundle.program = frontend::parseProgram(source);
+    report(records, {"parse", secondsSince(start),
+                     static_cast<long long>(source.size()), 0, 0});
+  }
+  {
+    const auto start = Clock::now();
+    bundle.sema = frontend::analyze(bundle.program);
+    report(records, {"sema", secondsSince(start), 0, 0, 0});
+  }
+  {
+    const auto start = Clock::now();
+    bundle.defuse = std::make_unique<ir::DefUseAnalysis>(bundle.program, bundle.sema);
+    bundle.sections = std::make_unique<ir::SectionAnalysis>(bundle.program, bundle.sema);
+    report(records, {"sections", secondsSince(start), 0, 0, 0});
+  }
+  {
+    const auto start = Clock::now();
+    bundle.profile = cost::interpret(bundle.program, bundle.sema);
+    ir::DependenceOptions dep;
+    dep.mode = mode;
+    dep.sections = bundle.sections.get();
+    bundle.graph =
+        htg::buildGraph({bundle.program, bundle.sema, *bundle.defuse, bundle.profile, dep});
+    report(records, {"htg", secondsSince(start),
+                     static_cast<long long>(bundle.graph.size() * sizeof(htg::Node)), 0, 0});
+  }
+  return bundle;
+}
+
+parallel::ParallelizeOutcome runParallelize(const htg::Graph& graph,
+                                            const cost::TimingModel& timing,
+                                            const parallel::ParallelizerOptions& options,
+                                            std::vector<PassRecord>* records) {
+  const auto start = Clock::now();
+  parallel::Parallelizer tool(graph, timing, options);
+  parallel::ParallelizeOutcome outcome = tool.run();
+  report(records, {"parallelize", secondsSince(start),
+                   static_cast<long long>(serializeOutcome(outcome).size()), 0, 0});
+  return outcome;
+}
+
+Session::Session(SessionInputs inputs) : inputs_(std::move(inputs)) {
+  timing_ = std::make_unique<cost::TimingModel>(inputs_.platform);
+}
+
+const htg::FrontendBundle& Session::frontend() {
+  if (bundle_ != nullptr) return *bundle_;
+  bundle_ = std::make_unique<htg::FrontendBundle>(
+      buildFrontend(inputs_.source, inputs_.depMode, &records_));
+  htg::validateOrThrow(bundle_->graph);
+  return *bundle_;
+}
+
+std::string Session::outcomeKey() const {
+  // Everything the outcome depends on, and nothing it does not: `jobs`,
+  // the region cache and the artifact cache itself are excluded (the solve
+  // engine guarantees outcome invariance across them, see DESIGN.md §7).
+  Digest d;
+  d.put("hetpar-parallelize-outcome");
+  d.putU64(ArtifactCache::kFormatVersion);
+  d.put(inputs_.source);
+  d.put(platform::toText(inputs_.platform));
+  d.putI64(static_cast<long long>(inputs_.depMode));
+  const parallel::ParallelizerOptions& po = inputs_.parallelizer;
+  d.putI64(po.maxTasksPerRegion);
+  d.putI64(po.chunkCount);
+  d.putF64(po.minRegionTcoMultiple);
+  d.putF64(po.ilpTimeLimitSeconds);
+  d.putI64(po.ilpMaxNodes);
+  d.putBool(po.enableChunking);
+  d.putBool(po.enableParallelSetMapping);
+  d.putI64(po.maxCandidatesPerClass);
+  return d.hex();
+}
+
+const parallel::ParallelizeOutcome& Session::parallelize() {
+  if (outcome_ != nullptr) return *outcome_;
+  const htg::FrontendBundle& bundle = frontend();
+
+  PassRecord rec;
+  rec.name = "parallelize";
+  const auto start = Clock::now();
+  const std::string key = inputs_.artifactCache ? outcomeKey() : std::string();
+
+  if (inputs_.artifactCache) {
+    std::string payload;
+    if (inputs_.artifactCache->load(key, payload)) {
+      auto decoded = std::make_unique<parallel::ParallelizeOutcome>();
+      if (deserializeOutcome(payload, *decoded) && outcomeFitsGraph(*decoded, bundle.graph)) {
+        // A hit performed no solve: zero the statistics, like the in-process
+        // region cache does.
+        decoded->stats = parallel::IlpStatistics{};
+        outcome_ = std::move(decoded);
+        parallelizeCached_ = true;
+        rec.cacheHits = 1;
+        rec.artifactBytes = static_cast<long long>(payload.size());
+        rec.wallSeconds = secondsSince(start);
+        TimingRegistry::global().record(rec);
+        records_.push_back(std::move(rec));
+        return *outcome_;
+      }
+      // Checksum-valid but undecodable (format bug, key collision): rebuild.
+    }
+  }
+
+  parallel::ParallelizerOptions po = inputs_.parallelizer;
+  po.dependenceMode = inputs_.depMode;
+  parallel::Parallelizer tool(bundle.graph, *timing_, po);
+  outcome_ = std::make_unique<parallel::ParallelizeOutcome>(tool.run());
+  parallelizeCached_ = false;
+
+  const std::string payload = serializeOutcome(*outcome_);
+  rec.artifactBytes = static_cast<long long>(payload.size());
+  if (inputs_.artifactCache) {
+    inputs_.artifactCache->store(key, payload);
+    rec.cacheMisses = 1;
+  }
+  rec.wallSeconds = secondsSince(start);
+  TimingRegistry::global().record(rec);
+  records_.push_back(std::move(rec));
+  return *outcome_;
+}
+
+Session::Estimates Session::estimates(platform::ClassId mainClass) {
+  const parallel::ParallelizeOutcome& outcome = parallelize();
+  const htg::Graph& graph = frontend().graph;
+  const parallel::SolutionRef best = outcome.bestRoot(graph, mainClass);
+  require(best.valid(), "no root solution for the requested main class");
+  const auto& rootSet = outcome.table.at(graph.root());
+  Estimates e;
+  e.sequentialSeconds = rootSet.at(rootSet.sequentialFor(mainClass)).timeSeconds;
+  e.parallelSeconds = rootSet.at(best.index).timeSeconds;
+  return e;
+}
+
+Session::SimNumbers Session::simulate(platform::ClassId mainClass) {
+  const parallel::ParallelizeOutcome& outcome = parallelize();
+  const htg::Graph& graph = frontend().graph;
+
+  const auto start = Clock::now();
+  const int mainCore = inputs_.platform.firstCoreOfClass(mainClass);
+  SimNumbers numbers;
+  numbers.sequentialSeconds =
+      sim::simulate(sched::flattenSequential(graph, *timing_, mainCore).graph).makespanSeconds;
+  const parallel::SolutionRef best = outcome.bestRoot(graph, mainClass);
+  const sched::FlattenResult flat =
+      sched::flatten(graph, outcome.table, best, *timing_, mainCore);
+  numbers.parallelSeconds = sim::simulate(flat.graph).makespanSeconds;
+  numbers.taskCount = flat.graph.tasks.size();
+  report(&records_, {"simulate", secondsSince(start),
+                     static_cast<long long>(flat.graph.tasks.size() * sizeof(sched::SimTask)),
+                     0, 0});
+  return numbers;
+}
+
+std::string Session::emitAnnotated(platform::ClassId mainClass) {
+  const parallel::ParallelizeOutcome& outcome = parallelize();
+  const htg::FrontendBundle& bundle = frontend();
+  const auto start = Clock::now();
+  const parallel::SolutionRef best = outcome.bestRoot(bundle.graph, mainClass);
+  std::string text = codegen::annotateSource(bundle.program, bundle.graph, outcome.table, best,
+                                             inputs_.platform);
+  report(&records_, {"emit", secondsSince(start), static_cast<long long>(text.size()), 0, 0});
+  return text;
+}
+
+std::string Session::emitParspec(platform::ClassId mainClass) {
+  const parallel::ParallelizeOutcome& outcome = parallelize();
+  const htg::Graph& graph = frontend().graph;
+  const auto start = Clock::now();
+  const parallel::SolutionRef best = outcome.bestRoot(graph, mainClass);
+  std::string text = codegen::mpaSpec(graph, outcome.table, best);
+  report(&records_, {"emit", secondsSince(start), static_cast<long long>(text.size()), 0, 0});
+  return text;
+}
+
+std::string Session::emitPremap(platform::ClassId mainClass) {
+  const parallel::ParallelizeOutcome& outcome = parallelize();
+  const htg::Graph& graph = frontend().graph;
+  const auto start = Clock::now();
+  const parallel::SolutionRef best = outcome.bestRoot(graph, mainClass);
+  std::string text =
+      codegen::premapSpec(graph, outcome.table, best, inputs_.platform);
+  report(&records_, {"emit", secondsSince(start), static_cast<long long>(text.size()), 0, 0});
+  return text;
+}
+
+std::string Session::emitDot() {
+  const htg::Graph& graph = frontend().graph;
+  std::string text;
+  if (inputs_.depMode == ir::DependenceMode::Affine) {
+    // Overlay the conservative edges the affine analysis pruned; building
+    // the conservative twin records its own frontend passes (it IS a second
+    // frontend run — --explain-timings shows it honestly).
+    const htg::FrontendBundle cons =
+        buildFrontend(inputs_.source, ir::DependenceMode::Conservative, &records_);
+    const auto start = Clock::now();
+    text = htg::toDotWithBaseline(graph, cons.graph);
+    report(&records_, {"emit", secondsSince(start), static_cast<long long>(text.size()), 0, 0});
+  } else {
+    const auto start = Clock::now();
+    text = htg::toDot(graph);
+    report(&records_, {"emit", secondsSince(start), static_cast<long long>(text.size()), 0, 0});
+  }
+  return text;
+}
+
+}  // namespace hetpar::pipeline

@@ -10,6 +10,7 @@
 #include "hetpar/ilp/branch_and_bound.hpp"
 #include "hetpar/parallel/genetic.hpp"
 #include "hetpar/parallel/homogeneous.hpp"
+#include "hetpar/pipeline/session.hpp"
 #include "hetpar/sched/flatten.hpp"
 #include "hetpar/sim/mpsoc.hpp"
 #include "hetpar/support/error.hpp"
@@ -35,11 +36,13 @@ RelationResult skip(Relation r, std::string why) {
   return RelationResult{r, relationName(r), true, true, std::move(why)};
 }
 
+/// The verify harness is a pipeline client: its solves and frontend runs go
+/// through the staged pipeline so every case feeds the process-wide pass
+/// registry (hetpar-fuzz reports the totals in its JSON).
 parallel::ParallelizeOutcome runPipeline(const htg::Graph& graph,
                                          const cost::TimingModel& timing,
                                          parallel::ParallelizerOptions options) {
-  parallel::Parallelizer tool(graph, timing, options);
-  return tool.run();
+  return pipeline::runParallelize(graph, timing, options);
 }
 
 /// Every cost in the platform scaled by `factor` (a power of two, so the
@@ -257,8 +260,8 @@ std::string sectionConflict(const htg::Graph& g, const frontend::SemaResult& sem
 
 RelationResult checkRefinementSoundness(const std::string& source) {
   constexpr Relation kR = Relation::RefinementSoundness;
-  htg::FrontendBundle cons = htg::buildFromSource(source, ir::DependenceMode::Conservative);
-  htg::FrontendBundle aff = htg::buildFromSource(source, ir::DependenceMode::Affine);
+  htg::FrontendBundle cons = pipeline::buildFrontend(source, ir::DependenceMode::Conservative);
+  htg::FrontendBundle aff = pipeline::buildFrontend(source, ir::DependenceMode::Affine);
   htg::validateOrThrow(aff.graph);
   if (cons.graph.size() != aff.graph.size())
     return fail(kR, strings::format("graph sizes differ: %zu conservative vs %zu affine",
@@ -340,7 +343,7 @@ RelationResult checkRefinementSoundness(const std::string& source) {
 RelationResult checkScheduleValidity(const std::string& source, const platform::Platform& pf,
                                      const MetamorphicOptions& options) {
   constexpr Relation kR = Relation::ScheduleValidity;
-  htg::FrontendBundle bundle = htg::buildFromSource(source, ir::DependenceMode::Affine);
+  htg::FrontendBundle bundle = pipeline::buildFrontend(source, ir::DependenceMode::Affine);
   htg::validateOrThrow(bundle.graph);
   const cost::TimingModel timing(pf);
   parallel::ParallelizerOptions po = options.parallelizer;
@@ -387,7 +390,7 @@ RelationResult checkScheduleValidity(const std::string& source, const platform::
 
 RelationResult checkSectionSoundness(const std::string& source) {
   constexpr Relation kR = Relation::SectionSoundness;
-  htg::FrontendBundle bundle = htg::buildFromSource(source, ir::DependenceMode::Affine);
+  htg::FrontendBundle bundle = pipeline::buildFrontend(source, ir::DependenceMode::Affine);
   const frontend::Function& mainFn = bundle.program.entry();
 
   // Statement id -> index of its enclosing top-level statement of main().
@@ -712,7 +715,7 @@ RelationResult checkProgramRelation(Relation r, const std::string& source,
                                     const platform::Platform& pf,
                                     const MetamorphicOptions& options) {
   require(isProgramRelation(r), "relation " + relationName(r) + " is region-level");
-  htg::FrontendBundle bundle = htg::buildFromSource(source);
+  htg::FrontendBundle bundle = pipeline::buildFrontend(source);
   htg::validateOrThrow(bundle.graph);
   const cost::TimingModel timing(pf);
   switch (r) {

@@ -100,11 +100,16 @@ class TaskEnumerator {
 }  // namespace
 
 OracleResult bruteForceTask(const parallel::IlpRegion& region) {
+  const int classes = static_cast<int>(region.numProcsPerClass.size());
   require(static_cast<int>(region.children.size()) <= 8,
           "task oracle limited to <= 8 children");
   require(region.maxTasks <= 4, "task oracle limited to <= 4 tasks");
-  require(static_cast<int>(region.numProcsPerClass.size()) <= 3,
-          "task oracle limited to <= 3 classes");
+  require(classes <= 4, "task oracle limited to <= 4 classes");
+  // At the widest class envelope the per-leaf factors (4^3 class maps x
+  // deeper candidate menus) already multiply out; tighten the child cap so
+  // the full product stays enumerable in test time.
+  require(classes < 4 || static_cast<int>(region.children.size()) <= 5,
+          "task oracle limited to <= 5 children at 4 classes");
   return TaskEnumerator(region).run();
 }
 
@@ -208,8 +213,8 @@ OracleResult bruteForceChunk(const parallel::ChunkRegion& region) {
   require(region.iterations > 0 && region.iterations <= 64,
           "chunk oracle limited to <= 64 iterations");
   require(region.maxTasks <= 4, "chunk oracle limited to <= 4 tasks");
-  require(static_cast<int>(region.numProcsPerClass.size()) <= 3,
-          "chunk oracle limited to <= 3 classes");
+  require(static_cast<int>(region.numProcsPerClass.size()) <= 4,
+          "chunk oracle limited to <= 4 classes");
   require(static_cast<int>(region.secondsPerIter.size()) ==
               static_cast<int>(region.numProcsPerClass.size()),
           "chunk oracle: per-class iteration times missing");
@@ -218,8 +223,11 @@ OracleResult bruteForceChunk(const parallel::ChunkRegion& region) {
 
 parallel::IlpRegion randomTinyRegion(Rng& rng, const TinyRegionOptions& options) {
   parallel::IlpRegion region;
-  const int N = static_cast<int>(rng.range(options.minChildren, options.maxChildren));
   const int C = static_cast<int>(rng.range(1, options.maxClasses));
+  // Mirror the oracle's enumerability envelope: at 4 classes the child count
+  // must stay <= 5 for the brute force to remain affordable.
+  const int childCap = C >= 4 ? std::min(options.maxChildren, 5) : options.maxChildren;
+  const int N = static_cast<int>(rng.range(options.minChildren, std::max(options.minChildren, childCap)));
   region.name = "tiny";
   region.seqPC = static_cast<platform::ClassId>(rng.below(static_cast<std::uint64_t>(C)));
   region.numProcsPerClass.resize(static_cast<std::size_t>(C));
@@ -250,6 +258,14 @@ parallel::IlpRegion randomTinyRegion(Rng& rng, const TinyRegionOptions& options)
         par.timeSeconds = seq.timeSeconds * rng.uniform(0.3, 0.9);
         par.extraProcs.assign(static_cast<std::size_t>(C), 0);
         par.extraProcs[rng.below(static_cast<std::uint64_t>(C))] = 1;
+        // Deeper nested candidates: the second and later extras model a
+        // nested region whose own solution fans out over a second class,
+        // so their speedup costs processors from two budgets at once.
+        if (s > 0 && C >= 2 && rng.chance(0.5)) {
+          const auto other = rng.below(static_cast<std::uint64_t>(C));
+          par.extraProcs[other] += 1;
+          par.timeSeconds *= rng.uniform(0.5, 0.9);
+        }
         child.byClass[static_cast<std::size_t>(c)].push_back(par);
       }
     }

@@ -31,9 +31,11 @@ struct OracleResult {
 };
 
 /// Enumerates every admissible assignment of `region` (requires
-/// children <= 8, maxTasks <= 4, classes <= 3 to stay enumerable; throws
-/// otherwise). Scores with parallel::evaluateAssignment — the same evaluator
-/// the GA uses, itself cross-validated against the ILP objective.
+/// children <= 8, maxTasks <= 4, classes <= 4 to stay enumerable — at the
+/// full 4 classes the child cap tightens to 5 so the assignment space stays
+/// below a few million leaves; throws otherwise). Scores with
+/// parallel::evaluateAssignment — the same evaluator the GA uses, itself
+/// cross-validated against the ILP objective.
 OracleResult bruteForceTask(const parallel::IlpRegion& region);
 
 /// Enumerates every task count, task-to-class mapping and integer iteration
@@ -43,9 +45,13 @@ OracleResult bruteForceChunk(const parallel::ChunkRegion& region);
 struct TinyRegionOptions {
   int minChildren = 2;
   int maxChildren = 6;
-  int maxClasses = 2;
+  /// Up to three classes by default; widened runs may push this to the
+  /// oracle's 4-class cap (children are then clamped to 5, see oracle.cpp).
+  int maxClasses = 3;
   int maxTasks = 3;
-  int maxCandidatesPerClass = 2;
+  /// Depth of the per-class nested-candidate menus: each extra candidate
+  /// models one more solution of the hosting child's nested region.
+  int maxCandidatesPerClass = 3;
   double edgeProbability = 0.4;
   double boundaryEdgeProbability = 0.3;
 };
@@ -53,6 +59,8 @@ struct TinyRegionOptions {
 /// Random enumerable ILPPAR instance. Every class menu keeps one
 /// zero-extra-processor candidate, so the all-in-main assignment is always
 /// feasible and the oracle never degenerates to "everything infeasible".
+/// Deeper nested candidates (second and later extras) may claim processors
+/// from two distinct classes, exercising multi-class budget interaction.
 parallel::IlpRegion randomTinyRegion(Rng& rng, const TinyRegionOptions& options = {});
 
 /// Random enumerable loop-chunking instance (iterations <= 48).

@@ -1,0 +1,32 @@
+# Golden-diff harness for hetparc: runs the full single-program flow on
+# tests/data/pipeline.c and byte-compares stdout and every emitted artifact
+# against the goldens captured from the pre-pipeline driver. Guards the
+# refactor invariant that staging the compiler changed NOTHING about what a
+# single compile produces.
+#
+# Expects: -DHETPARC=<binary> -DSOURCE=<source.c> -DGOLDEN_DIR=<dir> -DWORK_DIR=<dir>
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${HETPARC}" --preset A --simulate
+          --emit-annotated "${WORK_DIR}/pipeline.annotated.c"
+          --emit-parspec "${WORK_DIR}/pipeline.parspec"
+          --emit-premap "${WORK_DIR}/pipeline.premap"
+          --emit-dot "${WORK_DIR}/pipeline.dot"
+          "${SOURCE}"
+  OUTPUT_FILE "${WORK_DIR}/pipeline.stdout"
+  RESULT_VARIABLE exit_code)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "hetparc exited with ${exit_code}")
+endif()
+
+foreach(artifact stdout annotated.c parspec premap dot)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${GOLDEN_DIR}/pipeline.${artifact}" "${WORK_DIR}/pipeline.${artifact}"
+    RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "pipeline.${artifact} differs from the golden copy "
+                        "(${GOLDEN_DIR}/pipeline.${artifact} vs ${WORK_DIR}/pipeline.${artifact})")
+  endif()
+endforeach()

@@ -9,7 +9,7 @@
 #include "hetpar/htg/builder.hpp"
 #include "hetpar/htg/validate.hpp"
 #include "hetpar/platform/presets.hpp"
-#include "hetpar/sim/measure.hpp"
+#include "hetpar/pipeline/evaluate.hpp"
 
 namespace hetpar {
 namespace {
@@ -30,7 +30,7 @@ ModePair totalsFor(const char* source) {
 
 double speedup(const char* source, const platform::Platform& pf, ir::DependenceMode mode) {
   return bench::ilpEstimatedSpeedup(source, pf,
-                                    sim::mainClassFor(pf, sim::Scenario::Accelerator), mode);
+                                    pipeline::mainClassFor(pf, pipeline::Scenario::Accelerator), mode);
 }
 
 TEST(AffineExamples, StencilStrictlyReducesEdgesAndBytes) {

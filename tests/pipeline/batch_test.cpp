@@ -1,0 +1,112 @@
+// Batch driver tests: the merged report is deterministic across worker
+// counts, per-job failures stay contained, and a shared artifact cache
+// serves the whole fleet.
+#include "hetpar/pipeline/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hetpar/platform/presets.hpp"
+#include "hetpar/support/strings.hpp"
+
+namespace hetpar::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string program(int extent, int factor) {
+  return strings::format(R"(
+    int main() {
+      int a[%d]; int b[%d]; int s = 0;
+      for (int i = 0; i < %d; i = i + 1) { a[i] = i * %d; }
+      for (int j = 0; j < %d; j = j + 1) { b[j] = a[j] + %d; }
+      for (int k = 0; k < %d; k = k + 1) { s = s + b[k]; }
+      return s;
+    }
+  )",
+                         extent, extent, extent, factor, extent, factor, extent);
+}
+
+std::vector<BatchJob> threePrograms() {
+  return {{"p64.c", program(64, 3)}, {"p96.c", program(96, 5)}, {"p128.c", program(128, 7)}};
+}
+
+BatchConfig config() {
+  BatchConfig c;
+  c.platform = platform::platformA();
+  c.simulate = true;
+  return c;
+}
+
+TEST(Batch, MergedReportIndependentOfWorkerCount) {
+  BatchConfig serial = config();
+  serial.workers = 1;
+  const BatchReport one = runBatch(threePrograms(), serial);
+
+  BatchConfig concurrent = config();
+  concurrent.workers = 4;
+  concurrent.regionCache = std::make_shared<parallel::IlpRegionCache>();
+  const BatchReport many = runBatch(threePrograms(), concurrent);
+
+  ASSERT_EQ(one.jobs.size(), many.jobs.size());
+  for (std::size_t i = 0; i < one.jobs.size(); ++i) {
+    EXPECT_EQ(one.jobs[i].name, many.jobs[i].name);
+    EXPECT_EQ(one.jobs[i].ok, many.jobs[i].ok);
+    // The determinism boundary: per-program report text is bit-identical.
+    EXPECT_EQ(one.jobs[i].report, many.jobs[i].report) << one.jobs[i].name;
+  }
+  EXPECT_EQ(one.failures, 0);
+  EXPECT_EQ(many.failures, 0);
+}
+
+TEST(Batch, OneBrokenProgramDoesNotSinkTheBatch) {
+  std::vector<BatchJob> jobs = threePrograms();
+  jobs.insert(jobs.begin() + 1, {"broken.c", "int main( { this is not C"});
+
+  BatchConfig c = config();
+  c.workers = 2;
+  const BatchReport report = runBatch(jobs, c);
+  ASSERT_EQ(report.jobs.size(), 4u);
+  EXPECT_EQ(report.failures, 1);
+  EXPECT_FALSE(report.jobs[1].ok);
+  EXPECT_FALSE(report.jobs[1].error.empty());
+  // Order is submission order even with the failure interleaved.
+  EXPECT_EQ(report.jobs[0].name, "p64.c");
+  EXPECT_EQ(report.jobs[1].name, "broken.c");
+  EXPECT_EQ(report.jobs[2].name, "p96.c");
+  EXPECT_TRUE(report.jobs[0].ok);
+  EXPECT_TRUE(report.jobs[2].ok);
+  EXPECT_TRUE(report.jobs[3].ok);
+}
+
+TEST(Batch, SharedArtifactCacheServesWarmRuns) {
+  const std::string dir = (fs::temp_directory_path() / "hetpar-batch-cache-test").string();
+  fs::remove_all(dir);
+
+  BatchConfig c = config();
+  c.workers = 2;
+  c.artifactCache = std::make_shared<ArtifactCache>(dir);
+  const BatchReport cold = runBatch(threePrograms(), c);
+  EXPECT_EQ(cold.failures, 0);
+  for (const BatchJobResult& job : cold.jobs) EXPECT_FALSE(job.outcomeCached);
+
+  const BatchReport warm = runBatch(threePrograms(), c);
+  EXPECT_EQ(warm.failures, 0);
+  for (const BatchJobResult& job : warm.jobs) EXPECT_TRUE(job.outcomeCached);
+  for (std::size_t i = 0; i < cold.jobs.size(); ++i)
+    EXPECT_EQ(cold.jobs[i].report, warm.jobs[i].report);
+
+  // Aggregated pass records surface the cache traffic.
+  long long hits = 0;
+  for (const PassRecord& rec : warm.allPasses()) hits += rec.cacheHits;
+  EXPECT_EQ(hits, 3);
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hetpar::pipeline

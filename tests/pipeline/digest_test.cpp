@@ -1,0 +1,71 @@
+#include "hetpar/pipeline/digest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hetpar::pipeline {
+namespace {
+
+TEST(Digest, HexIs32LowercaseChars) {
+  Digest d;
+  d.put("hello");
+  const std::string hex = d.hex();
+  ASSERT_EQ(hex.size(), 32u);
+  for (char c : hex) EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+}
+
+TEST(Digest, Deterministic) {
+  Digest a, b;
+  a.put("source");
+  a.putU64(7);
+  b.put("source");
+  b.putU64(7);
+  EXPECT_EQ(a.hex(), b.hex());
+}
+
+TEST(Digest, SensitiveToEveryField) {
+  const auto keyed = [](const std::string& s, std::uint64_t v, double f, bool b) {
+    Digest d;
+    d.put(s);
+    d.putU64(v);
+    d.putF64(f);
+    d.putBool(b);
+    return d.hex();
+  };
+  const std::string base = keyed("src", 1, 2.5, true);
+  EXPECT_NE(keyed("srC", 1, 2.5, true), base);
+  EXPECT_NE(keyed("src", 2, 2.5, true), base);
+  EXPECT_NE(keyed("src", 1, 2.5000001, true), base);
+  EXPECT_NE(keyed("src", 1, 2.5, false), base);
+}
+
+TEST(Digest, LengthPrefixPreventsConcatenationAliasing) {
+  // ("ab","c") and ("a","bc") feed the same bytes; the length prefix must
+  // keep their digests apart.
+  Digest a, b;
+  a.put("ab");
+  a.put("c");
+  b.put("a");
+  b.put("bc");
+  EXPECT_NE(a.hex(), b.hex());
+}
+
+TEST(Digest, NegativeZeroAndZeroDiffer) {
+  // Bit-pattern hashing: -0.0 and 0.0 are distinct keys, matching the
+  // byte-exact artifact serialization.
+  Digest a, b;
+  a.putF64(0.0);
+  b.putF64(-0.0);
+  EXPECT_NE(a.hex(), b.hex());
+}
+
+TEST(Fnv1a64, MatchesReferenceVectors) {
+  // Classic FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+}  // namespace
+}  // namespace hetpar::pipeline

@@ -1,13 +1,17 @@
 // End-to-end evaluation harness tests: the full paper pipeline on one
 // benchmark, asserting the qualitative results of Section VI.
-#include "hetpar/sim/measure.hpp"
+#include "hetpar/pipeline/evaluate.hpp"
 
 #include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
 
 #include "hetpar/benchsuite/suite.hpp"
 #include "hetpar/platform/presets.hpp"
 
-namespace hetpar::sim {
+namespace hetpar::pipeline {
 namespace {
 
 const EvalResult& firResultA() {
@@ -17,13 +21,13 @@ const EvalResult& firResultA() {
   return r;
 }
 
-TEST(Measure, MainClassSelection) {
+TEST(Evaluate, MainClassSelection) {
   const platform::Platform a = platform::platformA();
   EXPECT_EQ(mainClassFor(a, Scenario::Accelerator), a.slowestClass());
   EXPECT_EQ(mainClassFor(a, Scenario::SlowerCores), a.fastestClass());
 }
 
-TEST(Measure, AcceleratorScenarioShape) {
+TEST(Evaluate, AcceleratorScenarioShape) {
   const EvalResult& r = firResultA();
   EXPECT_GT(r.sequentialSeconds, 0.0);
   EXPECT_NEAR(r.theoreticalLimit, 13.5, 1e-9);
@@ -35,14 +39,14 @@ TEST(Measure, AcceleratorScenarioShape) {
   EXPECT_GT(r.homogeneousSpeedup, 1.5);
 }
 
-TEST(Measure, StatsShapeMatchesTableI) {
+TEST(Evaluate, StatsShapeMatchesTableI) {
   const EvalResult& r = firResultA();
   EXPECT_GT(r.heterogeneousStats.numIlps, r.homogeneousStats.numIlps);
   EXPECT_GT(r.heterogeneousStats.numVars, r.homogeneousStats.numVars);
   EXPECT_GT(r.heterogeneousStats.numConstraints, r.homogeneousStats.numConstraints);
 }
 
-TEST(Measure, SlowerCoresScenarioShape) {
+TEST(Evaluate, SlowerCoresScenarioShape) {
   static const EvalResult r = evaluateBenchmark(
       "fir_256", benchsuite::find("fir_256").source, platform::platformA(),
       Scenario::SlowerCores);
@@ -55,5 +59,31 @@ TEST(Measure, SlowerCoresScenarioShape) {
   EXPECT_LT(r.heterogeneousSpeedup, r.theoreticalLimit + 1e-9);
 }
 
+TEST(Evaluate, WarmArtifactCacheReproducesColdNumbers) {
+  const auto& bench = benchsuite::find("fir_256");
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "hetpar-evaluate-cache-test").string();
+  std::filesystem::remove_all(dir);
+
+  EvalOptions options;
+  options.artifactCache = std::make_shared<ArtifactCache>(dir);
+  const EvalResult cold = evaluateBenchmark(bench.name, bench.source, platform::platformA(),
+                                            Scenario::Accelerator, options);
+  EXPECT_EQ(options.artifactCache->stats().hits, 0u);
+  EXPECT_EQ(options.artifactCache->stats().misses, 1u);
+
+  const EvalResult warm = evaluateBenchmark(bench.name, bench.source, platform::platformA(),
+                                            Scenario::Accelerator, options);
+  EXPECT_EQ(options.artifactCache->stats().hits, 1u);
+  // The cache hit must be outcome-invisible: identical simulated numbers.
+  EXPECT_EQ(warm.sequentialSeconds, cold.sequentialSeconds);
+  EXPECT_EQ(warm.heterogeneousSeconds, cold.heterogeneousSeconds);
+  EXPECT_EQ(warm.homogeneousSeconds, cold.homogeneousSeconds);
+  // ...except the statistics, which honestly report that nothing was solved.
+  EXPECT_EQ(warm.heterogeneousStats.numIlps, 0);
+
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
-}  // namespace hetpar::sim
+}  // namespace hetpar::pipeline

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "hetpar/pipeline/pass.hpp"
 #include "hetpar/platform/parser.hpp"
 #include "hetpar/support/error.hpp"
 #include "hetpar/support/strings.hpp"
@@ -146,6 +147,24 @@ std::string dumpRegression(const Options& opts, verify::Relation relation,
   return sourcePath;
 }
 
+/// Region-level relations have no program to shrink — the case seed IS the
+/// repro. Dumps <relation>-seed<N>.seed so verify_regressions replays it.
+std::string dumpSeedRegression(const Options& opts, verify::Relation relation,
+                               std::uint64_t caseSeed) {
+  std::error_code ec;
+  std::filesystem::create_directories(opts.regressionDir, ec);
+  const std::string path = opts.regressionDir + "/" +
+                           strings::format("%s-seed%llu.seed",
+                                           verify::relationName(relation).c_str(),
+                                           static_cast<unsigned long long>(caseSeed));
+  std::ofstream out(path);
+  if (!out) return "";
+  out << "# hetpar-fuzz region-level regression: relation "
+      << verify::relationName(relation) << "\n"
+      << caseSeed << "\n";
+  return path;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -228,6 +247,8 @@ int main(int argc, char** argv) {
       }
     } else {
       outcome.result = runCase(relation, caseSeed, "", platform::Platform(), mopts);
+      if (!outcome.result.passed && !opts.regressionDir.empty())
+        outcome.regressionFile = dumpSeedRegression(opts, relation, caseSeed);
     }
 
     ++ran;
@@ -248,6 +269,22 @@ int main(int argc, char** argv) {
   json += strings::format("  \"cases\": %d,\n  \"failures\": %d,\n  \"skipped\": %d,\n",
                           ran, failures, skips);
   json += strings::format("  \"wallSeconds\": %.3f,\n", elapsed());
+  // Per-pass totals across every pipeline run the cases performed (the
+  // verify harness drives the same staged pipeline as hetparc).
+  json += "  \"passTimings\": {\n";
+  {
+    const std::map<std::string, pipeline::PassTotals> totals =
+        pipeline::TimingRegistry::global().snapshot();
+    std::size_t k = 0;
+    for (const auto& [name, t] : totals) {
+      json += strings::format(
+          "    \"%s\": {\"runs\": %lld, \"wallSeconds\": %.3f, \"artifactBytes\": %lld, "
+          "\"cacheHits\": %lld, \"cacheMisses\": %lld}%s\n",
+          name.c_str(), t.runs, t.wallSeconds, t.artifactBytes, t.cacheHits,
+          t.cacheMisses, ++k < totals.size() ? "," : "");
+    }
+  }
+  json += "  },\n";
   json += "  \"results\": [\n";
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     const CaseOutcome& o = outcomes[i];

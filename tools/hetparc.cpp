@@ -1,6 +1,8 @@
 // hetparc — command-line driver for the hetpar tool flow.
 //
 //   hetparc [options] <source.c>
+//   hetparc [options] --batch <dir>
+//   hetparc [options] --programs <a.c> <b.c> ...
 //
 //   --preset A|B            builtin evaluation platform (default: A)
 //   --platform <file>       platform description file (overrides --preset)
@@ -20,25 +22,33 @@
 //   --baseline              also run the heterogeneity-oblivious baseline [6]
 //   --stats                 print ILP statistics (Table I columns)
 //   --seq-only              stop after HTG extraction (no ILPs)
-//   --jobs <n>              solver threads (0 = all hardware threads;
-//                           default 1; the outcome is identical for any n)
+//   --jobs <n>              solver threads; in batch mode, concurrent
+//                           programs (0 = all hardware threads; default 1;
+//                           the outcome is identical for any n)
+//   --batch <dir>           compile every *.c file under <dir> (sorted)
+//   --programs <f>...       compile the listed files (all later positional
+//                           arguments are inputs)
+//   --cache-dir <dir>       persistent artifact cache for parallelization
+//                           outcomes, shared across runs and processes
+//   --explain-timings       print per-pass wall times, artifact sizes and
+//                           cache counters (to stderr)
 //
 // Exit codes: 0 success, 1 usage error, 2 input error.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
-#include "hetpar/codegen/annotate.hpp"
-#include "hetpar/codegen/mpa_spec.hpp"
-#include "hetpar/codegen/premap_spec.hpp"
-#include "hetpar/htg/builder.hpp"
-#include "hetpar/htg/dot.hpp"
-#include "hetpar/htg/validate.hpp"
 #include "hetpar/parallel/homogeneous.hpp"
-#include "hetpar/parallel/parallelizer.hpp"
+#include "hetpar/parallel/region_cache.hpp"
+#include "hetpar/pipeline/batch.hpp"
+#include "hetpar/pipeline/session.hpp"
 #include "hetpar/platform/parser.hpp"
 #include "hetpar/platform/presets.hpp"
 #include "hetpar/sched/flatten.hpp"
@@ -50,6 +60,8 @@ namespace {
 
 struct Options {
   std::string sourcePath;
+  std::vector<std::string> programPaths;  ///< --programs / --batch inputs
+  std::string batchDir;
   std::string preset = "A";
   std::string platformPath;
   std::string mainClassName;
@@ -58,21 +70,26 @@ struct Options {
   std::string emitPremap;
   std::string emitDot;
   std::string depMode = "conservative";
+  std::string cacheDir;
   bool dumpDeps = false;
   bool simulate = false;
   bool baseline = false;
   bool stats = false;
   bool seqOnly = false;
+  bool explainTimings = false;
+  bool programsMode = false;
   int jobs = 1;
 };
 
 void usage() {
   std::fprintf(stderr,
                "usage: hetparc [options] <source.c>\n"
+               "       hetparc [options] --batch <dir> | --programs <f>...\n"
                "  --preset A|B  --platform <file>  --main-class <name>\n"
                "  --emit-annotated <f>  --emit-parspec <f>  --emit-premap <f>  --emit-dot <f>\n"
                "  --dep-mode conservative|affine  --dump-deps\n"
-               "  --simulate  --baseline  --stats  --seq-only  --jobs <n>\n");
+               "  --simulate  --baseline  --stats  --seq-only  --jobs <n>\n"
+               "  --batch <dir>  --programs <f>...  --cache-dir <dir>  --explain-timings\n");
 }
 
 bool parseArgs(int argc, char** argv, Options& opts) {
@@ -121,6 +138,16 @@ bool parseArgs(int argc, char** argv, Options& opts) {
       opts.stats = true;
     } else if (arg == "--seq-only") {
       opts.seqOnly = true;
+    } else if (arg == "--explain-timings") {
+      opts.explainTimings = true;
+    } else if (arg == "--batch") {
+      if ((value = needValue(i)) == nullptr) return false;
+      opts.batchDir = value;
+    } else if (arg == "--programs") {
+      opts.programsMode = true;
+    } else if (arg == "--cache-dir") {
+      if ((value = needValue(i)) == nullptr) return false;
+      opts.cacheDir = value;
     } else if (arg == "--jobs") {
       if ((value = needValue(i)) == nullptr) return false;
       char* end = nullptr;
@@ -132,14 +159,25 @@ bool parseArgs(int argc, char** argv, Options& opts) {
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "hetparc: unknown option '%s'\n", arg.c_str());
       return false;
+    } else if (opts.programsMode) {
+      opts.programPaths.push_back(arg);
     } else if (opts.sourcePath.empty()) {
       opts.sourcePath = arg;
     } else {
-      std::fprintf(stderr, "hetparc: more than one input file\n");
+      std::fprintf(stderr, "hetparc: more than one input file (use --programs)\n");
       return false;
     }
   }
-  return !opts.sourcePath.empty();
+  const bool batchMode = !opts.batchDir.empty() || opts.programsMode;
+  if (batchMode && !opts.sourcePath.empty()) {
+    std::fprintf(stderr, "hetparc: mixing a single input with --batch/--programs\n");
+    return false;
+  }
+  if (opts.programsMode && opts.programPaths.empty()) {
+    std::fprintf(stderr, "hetparc: --programs expects at least one file\n");
+    return false;
+  }
+  return batchMode || !opts.sourcePath.empty();
 }
 
 std::string readFile(const std::string& path) {
@@ -205,6 +243,171 @@ void dumpDeps(const hetpar::htg::FrontendBundle& bundle) {
   }
 }
 
+hetpar::platform::Platform resolvePlatform(const Options& opts) {
+  using namespace hetpar;
+  return !opts.platformPath.empty() ? platform::parsePlatform(readFile(opts.platformPath))
+         : opts.preset == "B"       ? platform::platformB()
+                                    : platform::platformA();
+}
+
+hetpar::platform::ClassId resolveMainClass(const hetpar::platform::Platform& pf,
+                                           const Options& opts) {
+  using namespace hetpar;
+  platform::ClassId mainClass = pf.slowestClass();
+  if (!opts.mainClassName.empty()) {
+    mainClass = pf.findClass(opts.mainClassName);
+    require(mainClass >= 0, "platform has no class named '" + opts.mainClassName + "'");
+  }
+  return mainClass;
+}
+
+std::shared_ptr<hetpar::pipeline::ArtifactCache> openCache(const Options& opts) {
+  if (opts.cacheDir.empty()) return nullptr;
+  return std::make_shared<hetpar::pipeline::ArtifactCache>(opts.cacheDir);
+}
+
+void printTimings(const std::vector<hetpar::pipeline::PassRecord>& records) {
+  std::fprintf(stderr, "%s", hetpar::pipeline::formatPassTable(records).c_str());
+}
+
+int runSingle(const Options& opts) {
+  using namespace hetpar;
+  const platform::Platform pf = resolvePlatform(opts);
+  const platform::ClassId mainClass = resolveMainClass(pf, opts);
+
+  std::fprintf(stderr, "hetparc: platform %s, main class %s\n", pf.summary().c_str(),
+               pf.classAt(mainClass).name.c_str());
+
+  const ir::DependenceMode depMode = opts.depMode == "affine"
+                                         ? ir::DependenceMode::Affine
+                                         : ir::DependenceMode::Conservative;
+  pipeline::SessionInputs inputs;
+  inputs.name = opts.sourcePath;
+  inputs.source = readFile(opts.sourcePath);
+  inputs.platform = pf;
+  inputs.depMode = depMode;
+  inputs.parallelizer.jobs = opts.jobs;
+  inputs.artifactCache = openCache(opts);
+  pipeline::Session session(std::move(inputs));
+
+  const htg::FrontendBundle& bundle = session.frontend();
+  std::fprintf(stderr, "hetparc: HTG %zu nodes (%d hierarchical), %.0f profiled ops, "
+                       "checksum %lld [%s deps]\n",
+               bundle.graph.size(), bundle.graph.hierarchicalCount(),
+               bundle.profile.totalOps, bundle.profile.exitValue, opts.depMode.c_str());
+  if (opts.dumpDeps) dumpDeps(bundle);
+  if (!opts.emitDot.empty()) writeFile(opts.emitDot, session.emitDot());
+  if (opts.seqOnly) {
+    if (opts.explainTimings) printTimings(session.passes());
+    return 0;
+  }
+
+  const parallel::ParallelizeOutcome& outcome = session.parallelize();
+  if (opts.stats)
+    std::printf("heterogeneous ILP statistics: %s\n", outcome.stats.summary().c_str());
+
+  const pipeline::Session::Estimates est = session.estimates(mainClass);
+  std::printf("estimated: sequential %.3f ms, parallel %.3f ms (%.2fx, limit %.2fx)\n",
+              est.sequentialSeconds * 1e3, est.parallelSeconds * 1e3,
+              est.sequentialSeconds / est.parallelSeconds,
+              pf.theoreticalMaxSpeedup(mainClass));
+
+  if (!opts.emitAnnotated.empty())
+    writeFile(opts.emitAnnotated, session.emitAnnotated(mainClass));
+  if (!opts.emitParspec.empty())
+    writeFile(opts.emitParspec, session.emitParspec(mainClass));
+  if (!opts.emitPremap.empty())
+    writeFile(opts.emitPremap, session.emitPremap(mainClass));
+
+  if (opts.simulate) {
+    const pipeline::Session::SimNumbers sim = session.simulate(mainClass);
+    std::printf("simulated: sequential %.3f ms, parallel %.3f ms (%.2fx) over %zu tasks\n",
+                sim.sequentialSeconds * 1e3, sim.parallelSeconds * 1e3,
+                sim.sequentialSeconds / sim.parallelSeconds, sim.taskCount);
+
+    if (opts.baseline) {
+      parallel::ParallelizerOptions parOpts = session.inputs().parallelizer;
+      parOpts.dependenceMode = depMode;
+      parallel::HomogeneousRun homog =
+          parallel::runHomogeneousBaseline(bundle.graph, pf, mainClass, parOpts);
+      if (opts.stats)
+        std::printf("homogeneous ILP statistics:   %s\n", homog.outcome.stats.summary().c_str());
+      sched::FlattenOptions fo;
+      fo.classAwareAllocation = false;
+      const int mainCore = pf.firstCoreOfClass(mainClass);
+      const auto homFlat = sched::flatten(bundle.graph, homog.outcome.table,
+                                          homog.outcome.bestRoot(bundle.graph, 0),
+                                          session.timing(), mainCore, fo);
+      const double hom = sim::simulate(homFlat.graph).makespanSeconds;
+      std::printf("baseline [6]: parallel %.3f ms (%.2fx)\n", hom * 1e3,
+                  sim.sequentialSeconds / hom);
+    }
+  }
+  if (opts.explainTimings) printTimings(session.passes());
+  return 0;
+}
+
+int runBatchMode(const Options& opts) {
+  using namespace hetpar;
+  std::vector<std::string> paths = opts.programPaths;
+  if (!opts.batchDir.empty()) {
+    namespace fs = std::filesystem;
+    require(fs::is_directory(opts.batchDir), "'" + opts.batchDir + "' is not a directory");
+    for (const fs::directory_entry& entry : fs::directory_iterator(opts.batchDir))
+      if (entry.is_regular_file() && entry.path().extension() == ".c")
+        paths.push_back(entry.path().string());
+    std::sort(paths.begin(), paths.end());
+  }
+  require(!paths.empty(), "no input programs (*.c) found");
+
+  pipeline::BatchConfig config;
+  config.platform = resolvePlatform(opts);
+  config.mainClass = resolveMainClass(config.platform, opts);
+  config.depMode = opts.depMode == "affine" ? ir::DependenceMode::Affine
+                                            : ir::DependenceMode::Conservative;
+  config.parallelizer.dependenceMode = config.depMode;
+  config.simulate = opts.simulate;
+  config.workers = opts.jobs;
+  config.artifactCache = openCache(opts);
+  if (config.parallelizer.enableRegionCache)
+    config.regionCache = std::make_shared<parallel::IlpRegionCache>();
+
+  std::fprintf(stderr, "hetparc: platform %s, main class %s, batch of %zu programs\n",
+               config.platform.summary().c_str(),
+               config.platform.classAt(config.mainClass).name.c_str(), paths.size());
+
+  std::vector<pipeline::BatchJob> jobs;
+  jobs.reserve(paths.size());
+  for (const std::string& path : paths) jobs.push_back({path, readFile(path)});
+
+  const pipeline::BatchReport report = pipeline::runBatch(jobs, config);
+
+  // Merged output in submission order — bit-identical for any --jobs value.
+  for (const pipeline::BatchJobResult& job : report.jobs) {
+    std::printf("== %s ==\n", job.name.c_str());
+    if (job.ok) {
+      std::printf("%s", job.report.c_str());
+    } else {
+      std::fprintf(stderr, "hetparc: %s: error: %s\n", job.name.c_str(), job.error.c_str());
+    }
+  }
+
+  if (config.artifactCache != nullptr) {
+    const pipeline::ArtifactCacheStats cs = config.artifactCache->stats();
+    std::fprintf(stderr,
+                 "hetparc: artifact cache %llu hits, %llu misses "
+                 "(%llu corrupt, %llu stale-version rejects)\n",
+                 static_cast<unsigned long long>(cs.hits),
+                 static_cast<unsigned long long>(cs.misses),
+                 static_cast<unsigned long long>(cs.rejectedCorrupt),
+                 static_cast<unsigned long long>(cs.rejectedVersion));
+  }
+  std::fprintf(stderr, "hetparc: batch done: %zu programs, %d failures, %.2f s\n",
+               report.jobs.size(), report.failures, report.wallSeconds);
+  if (opts.explainTimings) printTimings(report.allPasses());
+  return report.failures == 0 ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -216,93 +419,8 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const platform::Platform pf =
-        !opts.platformPath.empty() ? platform::parsePlatform(readFile(opts.platformPath))
-        : opts.preset == "B"       ? platform::platformB()
-                                   : platform::platformA();
-
-    platform::ClassId mainClass = pf.slowestClass();
-    if (!opts.mainClassName.empty()) {
-      mainClass = pf.findClass(opts.mainClassName);
-      require(mainClass >= 0, "platform has no class named '" + opts.mainClassName + "'");
-    }
-
-    std::fprintf(stderr, "hetparc: platform %s, main class %s\n", pf.summary().c_str(),
-                 pf.classAt(mainClass).name.c_str());
-
-    const ir::DependenceMode depMode = opts.depMode == "affine"
-                                           ? ir::DependenceMode::Affine
-                                           : ir::DependenceMode::Conservative;
-    const std::string source = readFile(opts.sourcePath);
-    htg::FrontendBundle bundle = htg::buildFromSource(source, depMode);
-    htg::validateOrThrow(bundle.graph);
-    std::fprintf(stderr, "hetparc: HTG %zu nodes (%d hierarchical), %.0f profiled ops, "
-                         "checksum %lld [%s deps]\n",
-                 bundle.graph.size(), bundle.graph.hierarchicalCount(),
-                 bundle.profile.totalOps, bundle.profile.exitValue, opts.depMode.c_str());
-    if (opts.dumpDeps) dumpDeps(bundle);
-    if (!opts.emitDot.empty()) {
-      if (depMode == ir::DependenceMode::Affine) {
-        const htg::FrontendBundle cons =
-            htg::buildFromSource(source, ir::DependenceMode::Conservative);
-        writeFile(opts.emitDot, htg::toDotWithBaseline(bundle.graph, cons.graph));
-      } else {
-        writeFile(opts.emitDot, htg::toDot(bundle.graph));
-      }
-    }
-    if (opts.seqOnly) return 0;
-
-    const cost::TimingModel timing(pf);
-    parallel::ParallelizerOptions parOpts;
-    parOpts.jobs = opts.jobs;
-    parOpts.dependenceMode = depMode;
-    parallel::Parallelizer tool(bundle.graph, timing, parOpts);
-    parallel::ParallelizeOutcome outcome = tool.run();
-    if (opts.stats)
-      std::printf("heterogeneous ILP statistics: %s\n", outcome.stats.summary().c_str());
-
-    const parallel::SolutionRef best = outcome.bestRoot(bundle.graph, mainClass);
-    const auto& rootSet = outcome.table.at(bundle.graph.root());
-    const double estSeq = rootSet.at(rootSet.sequentialFor(mainClass)).timeSeconds;
-    const double estPar = rootSet.at(best.index).timeSeconds;
-    std::printf("estimated: sequential %.3f ms, parallel %.3f ms (%.2fx, limit %.2fx)\n",
-                estSeq * 1e3, estPar * 1e3, estSeq / estPar,
-                pf.theoreticalMaxSpeedup(mainClass));
-
-    if (!opts.emitAnnotated.empty())
-      writeFile(opts.emitAnnotated,
-                codegen::annotateSource(bundle.program, bundle.graph, outcome.table, best, pf));
-    if (!opts.emitParspec.empty())
-      writeFile(opts.emitParspec, codegen::mpaSpec(bundle.graph, outcome.table, best));
-    if (!opts.emitPremap.empty())
-      writeFile(opts.emitPremap, codegen::premapSpec(bundle.graph, outcome.table, best, pf));
-
-    if (opts.simulate) {
-      const int mainCore = pf.firstCoreOfClass(mainClass);
-      const double seq =
-          sim::simulate(sched::flattenSequential(bundle.graph, timing, mainCore).graph)
-              .makespanSeconds;
-      const auto flat = sched::flatten(bundle.graph, outcome.table, best, timing, mainCore);
-      const sim::SimReport rep = sim::simulate(flat.graph);
-      std::printf("simulated: sequential %.3f ms, parallel %.3f ms (%.2fx) over %zu tasks\n",
-                  seq * 1e3, rep.makespanSeconds * 1e3, seq / rep.makespanSeconds,
-                  flat.graph.tasks.size());
-
-      if (opts.baseline) {
-        parallel::HomogeneousRun homog =
-            parallel::runHomogeneousBaseline(bundle.graph, pf, mainClass, parOpts);
-        if (opts.stats)
-          std::printf("homogeneous ILP statistics:   %s\n", homog.outcome.stats.summary().c_str());
-        sched::FlattenOptions fo;
-        fo.classAwareAllocation = false;
-        const auto homFlat = sched::flatten(bundle.graph, homog.outcome.table,
-                                            homog.outcome.bestRoot(bundle.graph, 0), timing,
-                                            mainCore, fo);
-        const double hom = sim::simulate(homFlat.graph).makespanSeconds;
-        std::printf("baseline [6]: parallel %.3f ms (%.2fx)\n", hom * 1e3, seq / hom);
-      }
-    }
-    return 0;
+    if (!opts.batchDir.empty() || opts.programsMode) return runBatchMode(opts);
+    return runSingle(opts);
   } catch (const Error& e) {
     std::fprintf(stderr, "hetparc: error: %s\n", e.what());
     return 2;
