@@ -1,5 +1,7 @@
 #include "hetpar/ilp/branch_and_bound.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <memory>
@@ -11,6 +13,31 @@
 namespace hetpar::ilp {
 
 namespace {
+
+// Process-wide totals (see SolverTotals). Relaxed atomics: the counters are
+// diagnostics, not synchronization.
+std::atomic<long long> gSolves{0};
+std::atomic<long long> gBnbNodes{0};
+std::atomic<long long> gSimplexIterations{0};
+std::atomic<long long> gRefactorizations{0};
+std::atomic<long long> gEtaUpdates{0};
+std::atomic<long long> gPeakFillNonzeros{0};
+std::atomic<long long> gWallMicros{0};
+
+void accumulateTotals(const SolveStats& s) {
+  gSolves.fetch_add(1, std::memory_order_relaxed);
+  gBnbNodes.fetch_add(s.nodesExplored, std::memory_order_relaxed);
+  gSimplexIterations.fetch_add(s.simplexIterations, std::memory_order_relaxed);
+  gRefactorizations.fetch_add(s.refactorizations, std::memory_order_relaxed);
+  gEtaUpdates.fetch_add(s.etaUpdates, std::memory_order_relaxed);
+  long long peak = gPeakFillNonzeros.load(std::memory_order_relaxed);
+  while (s.peakFillNonzeros > peak &&
+         !gPeakFillNonzeros.compare_exchange_weak(peak, s.peakFillNonzeros,
+                                                  std::memory_order_relaxed)) {
+  }
+  gWallMicros.fetch_add(static_cast<long long>(s.wallSeconds * 1e6),
+                        std::memory_order_relaxed);
+}
 
 struct BnbNode {
   // Full bound vectors (models are small enough that replaying deltas is
@@ -57,7 +84,7 @@ Solution BranchAndBoundSolver::solve(const Model& model) {
   StandardForm sf = buildLp(model, rootLower, rootUpper);
   LpProblem& lp = sf.problem;
 
-  BoundedSimplex simplex;
+  BoundedSimplex simplex(1e-9, options_.engine);
 
   Solution best;
   best.status = SolveStatus::Infeasible;
@@ -89,6 +116,10 @@ Solution BranchAndBoundSolver::solve(const Model& model) {
     LpResult relax =
         simplex.solve(lp, 0, node.warmBasis.get(), solvedBasis.get());
     stats_.simplexIterations += relax.iterations;
+    stats_.refactorizations += relax.factorStats.refactorizations;
+    stats_.etaUpdates += relax.factorStats.etaUpdates;
+    stats_.peakFillNonzeros =
+        std::max(stats_.peakFillNonzeros, relax.factorStats.peakFillNonzeros);
 
     if (relax.status == LpStatus::Infeasible) continue;
     if (relax.status == LpStatus::Unbounded) {
@@ -178,6 +209,7 @@ Solution BranchAndBoundSolver::solve(const Model& model) {
   }
 
   stats_.wallSeconds = elapsed();
+  accumulateTotals(stats_);
 
   if (sawUnbounded) {
     Solution out;
@@ -193,6 +225,28 @@ Solution BranchAndBoundSolver::solve(const Model& model) {
   HETPAR_CHECK_MSG(model.isFeasible(best.values, 1e-5),
                    "bnb produced an infeasible incumbent for model '" + model.name() + "'");
   return best;
+}
+
+SolverTotals solverTotals() {
+  SolverTotals t;
+  t.solves = gSolves.load(std::memory_order_relaxed);
+  t.bnbNodes = gBnbNodes.load(std::memory_order_relaxed);
+  t.simplexIterations = gSimplexIterations.load(std::memory_order_relaxed);
+  t.refactorizations = gRefactorizations.load(std::memory_order_relaxed);
+  t.etaUpdates = gEtaUpdates.load(std::memory_order_relaxed);
+  t.peakFillNonzeros = gPeakFillNonzeros.load(std::memory_order_relaxed);
+  t.wallSeconds = static_cast<double>(gWallMicros.load(std::memory_order_relaxed)) / 1e6;
+  return t;
+}
+
+void resetSolverTotals() {
+  gSolves.store(0, std::memory_order_relaxed);
+  gBnbNodes.store(0, std::memory_order_relaxed);
+  gSimplexIterations.store(0, std::memory_order_relaxed);
+  gRefactorizations.store(0, std::memory_order_relaxed);
+  gEtaUpdates.store(0, std::memory_order_relaxed);
+  gPeakFillNonzeros.store(0, std::memory_order_relaxed);
+  gWallMicros.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace hetpar::ilp

@@ -34,4 +34,22 @@ inline BranchAndBoundSolver makeDefaultSolver(SolveOptions options = {}) {
   return BranchAndBoundSolver(options);
 }
 
+/// Process-wide LP-engine totals, accumulated atomically by every
+/// BranchAndBoundSolver::solve regardless of which thread or subsystem ran
+/// it. Drivers report these (hetparc --explain-timings, hetpar-fuzz's
+/// "simplex" JSON section) to expose solver behavior without threading
+/// statistics through every call chain.
+struct SolverTotals {
+  long long solves = 0;
+  long long bnbNodes = 0;
+  long long simplexIterations = 0;
+  long long refactorizations = 0;
+  long long etaUpdates = 0;
+  long long peakFillNonzeros = 0;
+  double wallSeconds = 0.0;
+};
+
+SolverTotals solverTotals();
+void resetSolverTotals();
+
 }  // namespace hetpar::ilp

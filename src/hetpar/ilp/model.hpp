@@ -6,6 +6,7 @@
 // generated ILPs can be handed to either lp_solve or CPLEX.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -125,6 +126,12 @@ class Model {
   Sense sense_ = Sense::Minimize;
 };
 
+/// LP engine underneath branch and bound. `Revised` is the production
+/// sparse revised simplex (LU factors + eta updates); `Dense` keeps the
+/// seed's explicit dense inverse for one release as the differential
+/// oracle (see DESIGN.md "LP engine").
+enum class SolverEngine : std::uint8_t { Revised, Dense };
+
 /// Solver knobs. Defaults suit the parallelizer's many small ILPs.
 struct SolveOptions {
   double timeLimitSeconds = 60.0;  ///< wall-clock cap per solve
@@ -132,6 +139,7 @@ struct SolveOptions {
   double integralityTol = 1e-6;
   double feasibilityTol = 1e-7;
   bool collectStats = true;
+  SolverEngine engine = SolverEngine::Revised;
 };
 
 /// Per-solve statistics (feeds the paper's Table I).
@@ -142,6 +150,11 @@ struct SolveStats {
   long long nodesExplored = 0;
   long long simplexIterations = 0;
   double wallSeconds = 0.0;
+  /// LP-engine behavior (see FactorStats): basis factorizations, eta-file
+  /// pivot updates between them, and the peak factor fill seen.
+  long long refactorizations = 0;
+  long long etaUpdates = 0;
+  long long peakFillNonzeros = 0;
 };
 
 /// Abstract MILP solver interface (paper: "the user can choose between

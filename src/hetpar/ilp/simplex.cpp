@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
+#include "hetpar/ilp/basis_factor.hpp"
 #include "hetpar/support/error.hpp"
 
 namespace hetpar::ilp {
@@ -30,21 +32,21 @@ struct Tableau {
   std::vector<int> basic;             // basic[i] = column basic in row i
   std::vector<int> basicPos;          // basicPos[j] = row if basic else -1
   std::vector<double> xB;             // values of basic variables
-  std::vector<double> binv;           // m*m row-major dense basis inverse
+
+  SolverEngine engine = SolverEngine::Revised;
+  std::unique_ptr<BasisFactor> factor;  // basis representation (LU or dense)
+  int pricingCursor = 0;                // partial-pricing scan position
 
   double tol;
   long long iterations = 0;
 
-  double& binvAt(int i, int j) { return binv[static_cast<std::size_t>(i) * m + j]; }
-  double binvAt(int i, int j) const { return binv[static_cast<std::size_t>(i) * m + j]; }
-
   void init(const LpProblem& problem, double tolerance);
   /// Seeds statuses/basis from `warm` instead of the artificial basis.
-  /// Returns false on structural mismatch or a singular basis. `cache`
-  /// (optional) supplies a ready-made inverse for exactly this basis,
-  /// skipping the O(m^3) refactorization.
+  /// Returns false on structural mismatch or a singular basis.
+  /// `readyFactor` (optional) supplies a factorization of exactly this
+  /// basis, skipping the refactorization.
   bool initFromBasis(const LpProblem& problem, double tolerance, const SimplexBasis& warm,
-                     const std::vector<double>* readyBinv);
+                     const BasisFactor* readyFactor);
   /// Drives a warm-started (possibly bound-violating) basis to primal
   /// feasibility by temporarily relaxing the violated variables' bounds.
   /// Optimal = feasible now; Infeasible = proven empty; IterationLimit =
@@ -52,7 +54,7 @@ struct Tableau {
   LpStatus boundShiftPhase1(long long maxIterations);
   void exportBasis(SimplexBasis& out) const;
   void recomputeBasicValues();
-  bool refactorize();  // rebuild binv from the basis; false if singular
+  bool refactorize();  // rebuild the factorization; false if singular
   LpStatus runPhase(const std::vector<double>& cost, long long maxIterations,
                     bool phase1);
   double primalInfeasibility() const;
@@ -80,7 +82,6 @@ void Tableau::init(const LpProblem& problem, double tolerance) {
   basic.assign(static_cast<std::size_t>(m), -1);
   basicPos.assign(static_cast<std::size_t>(total), -1);
   xB.assign(static_cast<std::size_t>(m), 0.0);
-  binv.assign(static_cast<std::size_t>(m) * m, 0.0);
 
   // Nonbasic structural/slack columns start at their nearest finite bound.
   for (int j = 0; j < n; ++j) {
@@ -115,12 +116,13 @@ void Tableau::init(const LpProblem& problem, double tolerance) {
     basic[static_cast<std::size_t>(i)] = aj;
     basicPos[static_cast<std::size_t>(aj)] = i;
     xB[static_cast<std::size_t>(i)] = std::fabs(residual[static_cast<std::size_t>(i)]);
-    binvAt(i, i) = sign;  // inverse of diag(sign) is itself
   }
+  factor = makeBasisFactor(engine);
+  factor->factorize(cols, basic, m);  // diagonal basis: cannot fail
 }
 
 bool Tableau::initFromBasis(const LpProblem& problem, double tolerance,
-                            const SimplexBasis& warm, const std::vector<double>* readyBinv) {
+                            const SimplexBasis& warm, const BasisFactor* readyFactor) {
   lp = &problem;
   tol = tolerance;
   m = problem.numRows;
@@ -143,7 +145,6 @@ bool Tableau::initFromBasis(const LpProblem& problem, double tolerance,
   basic.assign(static_cast<std::size_t>(m), -1);
   basicPos.assign(static_cast<std::size_t>(total), -1);
   xB.assign(static_cast<std::size_t>(m), 0.0);
-  binv.assign(static_cast<std::size_t>(m) * m, 0.0);
 
   // Artificial columns exist for layout compatibility but stay fixed at 0.
   for (int i = 0; i < m; ++i)
@@ -179,11 +180,13 @@ bool Tableau::initFromBasis(const LpProblem& problem, double tolerance,
       nonbasicValue[static_cast<std::size_t>(j)] = 0.0;
     }
   }
-  if (readyBinv != nullptr && readyBinv->size() == binv.size()) {
-    binv = *readyBinv;
+  if (readyFactor != nullptr) {
+    factor = readyFactor->clone();
+    factor->resetStats();  // counts belong to the solve, not the cache
     recomputeBasicValues();
     return true;
   }
+  factor = makeBasisFactor(engine);
   if (!refactorize()) return false;
   return true;
 }
@@ -277,60 +280,12 @@ void Tableau::recomputeBasicValues() {
     if (v == 0.0) continue;
     for (const auto& [row, coef] : cols[j]) rhs[static_cast<std::size_t>(row)] -= coef * v;
   }
-  for (int i = 0; i < m; ++i) {
-    double v = 0.0;
-    for (int k = 0; k < m; ++k) v += binvAt(i, k) * rhs[static_cast<std::size_t>(k)];
-    xB[static_cast<std::size_t>(i)] = v;
-  }
+  factor->ftran(rhs);  // row-indexed residual in, slot-indexed values out
+  xB = std::move(rhs);
 }
 
 bool Tableau::refactorize() {
-  // Build the basis matrix and invert it by Gauss-Jordan with partial
-  // pivoting. Called rarely (numerical recovery), so O(m^3) is acceptable.
-  std::vector<double> mat(static_cast<std::size_t>(m) * m, 0.0);
-  for (int i = 0; i < m; ++i) {
-    const int j = basic[static_cast<std::size_t>(i)];
-    for (const auto& [row, coef] : cols[static_cast<std::size_t>(j)])
-      mat[static_cast<std::size_t>(row) * m + i] = coef;
-  }
-  std::vector<double> inv(static_cast<std::size_t>(m) * m, 0.0);
-  for (int i = 0; i < m; ++i) inv[static_cast<std::size_t>(i) * m + i] = 1.0;
-
-  for (int col = 0; col < m; ++col) {
-    int pivotRow = col;
-    double best = std::fabs(mat[static_cast<std::size_t>(col) * m + col]);
-    for (int r = col + 1; r < m; ++r) {
-      const double v = std::fabs(mat[static_cast<std::size_t>(r) * m + col]);
-      if (v > best) {
-        best = v;
-        pivotRow = r;
-      }
-    }
-    if (best < 1e-12) return false;
-    if (pivotRow != col) {
-      for (int k = 0; k < m; ++k) {
-        std::swap(mat[static_cast<std::size_t>(pivotRow) * m + k],
-                  mat[static_cast<std::size_t>(col) * m + k]);
-        std::swap(inv[static_cast<std::size_t>(pivotRow) * m + k],
-                  inv[static_cast<std::size_t>(col) * m + k]);
-      }
-    }
-    const double piv = mat[static_cast<std::size_t>(col) * m + col];
-    for (int k = 0; k < m; ++k) {
-      mat[static_cast<std::size_t>(col) * m + k] /= piv;
-      inv[static_cast<std::size_t>(col) * m + k] /= piv;
-    }
-    for (int r = 0; r < m; ++r) {
-      if (r == col) continue;
-      const double f = mat[static_cast<std::size_t>(r) * m + col];
-      if (f == 0.0) continue;
-      for (int k = 0; k < m; ++k) {
-        mat[static_cast<std::size_t>(r) * m + k] -= f * mat[static_cast<std::size_t>(col) * m + k];
-        inv[static_cast<std::size_t>(r) * m + k] -= f * inv[static_cast<std::size_t>(col) * m + k];
-      }
-    }
-  }
-  binv = std::move(inv);
+  if (!factor->factorize(cols, basic, m)) return false;
   recomputeBasicValues();
   return true;
 }
@@ -365,47 +320,72 @@ LpStatus Tableau::runPhase(const std::vector<double>& cost, long long maxIterati
       if (!refactorize()) return LpStatus::IterationLimit;
     }
 
-    // Duals: y = Binv^T c_B.
-    for (int i = 0; i < m; ++i) y[static_cast<std::size_t>(i)] = 0.0;
-    for (int k = 0; k < m; ++k) {
-      const double cb = cost[static_cast<std::size_t>(basic[static_cast<std::size_t>(k)])];
-      if (cb == 0.0) continue;
-      const double* row = &binv[static_cast<std::size_t>(k) * m];
-      for (int i = 0; i < m; ++i) y[static_cast<std::size_t>(i)] += cb * row[i];
-    }
+    // Duals: solve B^T y = c_B via BTRAN.
+    for (int k = 0; k < m; ++k)
+      y[static_cast<std::size_t>(k)] = cost[static_cast<std::size_t>(basic[static_cast<std::size_t>(k)])];
+    factor->btran(y);
 
-    // Pricing: pick entering column.
-    int entering = -1;
-    double enteringDir = 0.0;
-    double bestScore = dualTol;
-    for (int j = 0; j < total; ++j) {
+    // Pricing: pick entering column. Returns the improvement score for
+    // column j (0 if not a candidate) and writes the movement direction.
+    auto priceColumn = [&](int j, double& dir) -> double {
       const ColStatus st = status[static_cast<std::size_t>(j)];
-      if (st == ColStatus::Basic) continue;
-      if (lower[static_cast<std::size_t>(j)] == upper[static_cast<std::size_t>(j)]) continue;
+      if (st == ColStatus::Basic) return 0.0;
+      if (lower[static_cast<std::size_t>(j)] == upper[static_cast<std::size_t>(j)]) return 0.0;
       double d = cost[static_cast<std::size_t>(j)];
       for (const auto& [row, coef] : cols[static_cast<std::size_t>(j)])
         d -= y[static_cast<std::size_t>(row)] * coef;
-      double score = 0.0;
-      double dir = 0.0;
       if ((st == ColStatus::AtLower || st == ColStatus::Free) && d < -dualTol) {
-        score = -d;
         dir = 1.0;
-      } else if ((st == ColStatus::AtUpper || st == ColStatus::Free) && d > dualTol) {
-        score = d;
+        return -d;
+      }
+      if ((st == ColStatus::AtUpper || st == ColStatus::Free) && d > dualTol) {
         dir = -1.0;
-      } else {
-        continue;
+        return d;
       }
-      if (bland) {
-        entering = j;
-        enteringDir = dir;
-        break;
+      return 0.0;
+    };
+
+    int entering = -1;
+    double enteringDir = 0.0;
+    double bestScore = dualTol;
+    if (bland || engine == SolverEngine::Dense) {
+      // Bland: first improving column by index (termination guarantee needs
+      // the lowest index, so no cursor). Dense engine: full Dantzig scan,
+      // preserving the seed's pivot sequence for the differential oracle.
+      for (int j = 0; j < total; ++j) {
+        double dir = 0.0;
+        const double score = priceColumn(j, dir);
+        if (score <= 0.0) continue;
+        if (bland) {
+          entering = j;
+          enteringDir = dir;
+          break;
+        }
+        if (score > bestScore) {
+          bestScore = score;
+          entering = j;
+          enteringDir = dir;
+        }
       }
-      if (score > bestScore) {
-        bestScore = score;
-        entering = j;
-        enteringDir = dir;
+    } else {
+      // Partial pricing: cyclic scan from the cursor; once a candidate is in
+      // hand, stop at the block boundary instead of pricing every column.
+      // Optimality is only declared after a full wrap finds no candidate.
+      const int block = std::max(64, total / 8);
+      int j = pricingCursor >= total ? 0 : pricingCursor;
+      int scanned = 0;
+      for (; scanned < total; ++scanned) {
+        double dir = 0.0;
+        const double score = priceColumn(j, dir);
+        if (score > bestScore) {
+          bestScore = score;
+          entering = j;
+          enteringDir = dir;
+        }
+        j = (j + 1 == total) ? 0 : j + 1;
+        if (entering >= 0 && scanned + 1 >= block) break;
       }
+      pricingCursor = j;
     }
     if (entering < 0) {
       // Optimal for this phase; verify numerically and refactor once if the
@@ -418,12 +398,8 @@ LpStatus Tableau::runPhase(const std::vector<double>& cost, long long maxIterati
       return LpStatus::Optimal;
     }
 
-    // FTRAN: w = Binv * A_entering.
-    std::fill(w.begin(), w.end(), 0.0);
-    for (const auto& [row, coef] : cols[static_cast<std::size_t>(entering)]) {
-      for (int i = 0; i < m; ++i)
-        w[static_cast<std::size_t>(i)] += binvAt(i, row) * coef;
-    }
+    // FTRAN: w = B^{-1} A_entering.
+    factor->ftranColumn(cols[static_cast<std::size_t>(entering)], w);
 
     // Harris-style two-pass ratio test. Entering moves by t >= 0 in
     // direction enteringDir; basic variable i changes by
@@ -524,7 +500,7 @@ LpStatus Tableau::runPhase(const std::vector<double>& cost, long long maxIterati
     // Pivot: entering becomes basic in leavingRow.
     const double pivot = w[static_cast<std::size_t>(leavingRow)];
     if (std::fabs(pivot) < 1e-9) {
-      // Numerically unsafe pivot; rebuild the inverse and retry from pricing.
+      // Numerically unsafe pivot; rebuild the factors and retry from pricing.
       if (!refactorize()) return LpStatus::IterationLimit;
       continue;
     }
@@ -548,16 +524,11 @@ LpStatus Tableau::runPhase(const std::vector<double>& cost, long long maxIterati
     status[static_cast<std::size_t>(entering)] = ColStatus::Basic;
     xB[static_cast<std::size_t>(leavingRow)] = enteringValue;
 
-    // Rank-1 update of the explicit inverse.
-    double* pivotRowPtr = &binv[static_cast<std::size_t>(leavingRow) * m];
-    const double invPivot = 1.0 / pivot;
-    for (int k = 0; k < m; ++k) pivotRowPtr[k] *= invPivot;
-    for (int i = 0; i < m; ++i) {
-      if (i == leavingRow) continue;
-      const double f = w[static_cast<std::size_t>(i)];
-      if (f == 0.0) continue;
-      double* row = &binv[static_cast<std::size_t>(i) * m];
-      for (int k = 0; k < m; ++k) row[k] -= f * pivotRowPtr[k];
+    // Record the basis change in the factorization; if the update is
+    // numerically unsafe or the eta file has grown past its trigger,
+    // refactorize the (already-updated) basis instead.
+    if (!factor->update(leavingRow, w) || factor->wantRefactorize()) {
+      if (!refactorize()) return LpStatus::IterationLimit;
     }
 
     // Periodic hygiene: recompute basic values to cancel drift.
@@ -578,6 +549,29 @@ void Tableau::extractSolution(std::vector<double>& x) const {
 }
 
 }  // namespace
+
+std::uint64_t lpStructuralDigest(const LpProblem& problem) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(problem.numRows));
+  mix(static_cast<std::uint64_t>(problem.numCols));
+  for (const auto& col : problem.cols) {
+    mix(static_cast<std::uint64_t>(col.size()));
+    for (const auto& [row, coef] : col) {
+      mix(static_cast<std::uint64_t>(row));
+      std::uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(coef));
+      std::memcpy(&bits, &coef, sizeof(bits));
+      mix(bits);
+    }
+  }
+  return h;
+}
 
 StandardForm buildLp(const Model& model, const std::vector<double>& lowerOverride,
                      const std::vector<double>& upperOverride) {
@@ -662,19 +656,26 @@ LpResult BoundedSimplex::solve(const LpProblem& problem, long long maxIterations
   if (maxIterations <= 0)
     maxIterations = 20000 + 200LL * (problem.numRows + problem.numCols);
 
+  const std::uint64_t digest = lpStructuralDigest(problem);
+
   Tableau t;
+  t.engine = engine_;
   bool warmed = false;
   if (warm != nullptr && warm->valid()) {
+    // Factor-cache hit requires the same matrix (structural digest) and the
+    // same basis columns; equal row counts alone are not enough — reusing a
+    // factorization across different matrices silently corrupts the solve.
     const bool cacheHit =
-        cacheRows_ == problem.numRows &&
+        cacheFactor_ != nullptr && cacheDigest_ == digest &&
         warm->basicCols.size() == cacheBasic_.size() &&
         std::equal(cacheBasic_.begin(), cacheBasic_.end(), warm->basicCols.begin());
-    warmed = t.initFromBasis(problem, tol_, *warm, cacheHit ? &cacheBinv_ : nullptr);
+    warmed = t.initFromBasis(problem, tol_, *warm, cacheHit ? cacheFactor_.get() : nullptr);
     if (warmed) {
       const LpStatus ph1 = t.boundShiftPhase1(maxIterations);
       if (ph1 == LpStatus::Infeasible) {
         result.status = LpStatus::Infeasible;
         result.iterations = t.iterations;
+        result.factorStats = t.factor->stats();
         return result;
       }
       if (ph1 != LpStatus::Optimal) warmed = false;  // cold restart below
@@ -683,6 +684,7 @@ LpResult BoundedSimplex::solve(const LpProblem& problem, long long maxIterations
 
   if (!warmed) {
     t = Tableau{};
+    t.engine = engine_;
     t.init(problem, tol_);
 
     // Phase 1: minimize the sum of artificial variables.
@@ -692,6 +694,7 @@ LpResult BoundedSimplex::solve(const LpProblem& problem, long long maxIterations
     if (st != LpStatus::Optimal) {
       result.status = st == LpStatus::Unbounded ? LpStatus::IterationLimit : st;
       result.iterations = t.iterations;
+      result.factorStats = t.factor->stats();
       return result;
     }
     double artificialSum = 0.0;
@@ -706,6 +709,7 @@ LpResult BoundedSimplex::solve(const LpProblem& problem, long long maxIterations
     if (artificialSum > 1e-6) {
       result.status = LpStatus::Infeasible;
       result.iterations = t.iterations;
+      result.factorStats = t.factor->stats();
       return result;
     }
 
@@ -723,16 +727,17 @@ LpResult BoundedSimplex::solve(const LpProblem& problem, long long maxIterations
   // Phase 2: optimize the real objective.
   LpStatus st = t.runPhase(t.costPhase2, maxIterations, /*phase1=*/false);
   result.iterations = t.iterations;
+  result.factorStats = t.factor->stats();
   if (st != LpStatus::Optimal) {
     result.status = st;
     return result;
   }
   if (basisOut != nullptr) t.exportBasis(*basisOut);
-  // Retain the final inverse so the next warm start on this basis skips
-  // refactorization (the branch-and-bound parent->child pattern).
+  // Retain the final factorization so the next warm start on this basis
+  // skips refactorization (the branch-and-bound parent->child pattern).
+  cacheDigest_ = digest;
   cacheBasic_.assign(t.basic.begin(), t.basic.end());
-  cacheBinv_ = t.binv;
-  cacheRows_ = t.m;
+  cacheFactor_ = std::move(t.factor);
 
   t.extractSolution(result.x);
   double obj = 0.0;

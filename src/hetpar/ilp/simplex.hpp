@@ -8,15 +8,23 @@
 // what makes repeated relaxation solves cheap for the parallelizer's
 // binary-heavy models.
 //
-// Implementation: two-phase method with one artificial variable per row,
-// dense explicit basis inverse with eta-style pivot updates, Dantzig pricing
-// with a Bland's-rule fallback to guarantee termination under degeneracy.
+// Implementation: two-phase method with one artificial variable per row.
+// The basis inverse lives behind the `BasisFactor` interface: the default
+// `SolverEngine::Revised` engine keeps a sparse LU factorization with
+// product-form eta updates and periodic refactorization (partial pricing),
+// while `SolverEngine::Dense` retains the seed's explicit dense inverse
+// (full Dantzig pricing) as a differential oracle. Both share this driver's
+// ratio test, bound flips, and Bland's-rule fallback, so they differ only
+// in how B^{-1} is represented — which is what makes dense-vs-revised
+// agreement a meaningful check.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "hetpar/ilp/basis_factor.hpp"
 #include "hetpar/ilp/model.hpp"
 
 namespace hetpar::ilp {
@@ -41,6 +49,9 @@ struct LpResult {
   double objective = 0.0;
   std::vector<double> x;  ///< size numCols; valid when status == Optimal
   long long iterations = 0;
+  /// Basis-representation counters for this solve (refactorizations, eta
+  /// updates, peak fill); zeroed for the row-free fast path.
+  FactorStats factorStats;
 };
 
 /// Conversion of a `Model` (plus per-variable bound overrides used by
@@ -66,7 +77,8 @@ struct SimplexBasis {
 
 class BoundedSimplex {
  public:
-  explicit BoundedSimplex(double tol = 1e-9) : tol_(tol) {}
+  explicit BoundedSimplex(double tol = 1e-9, SolverEngine engine = SolverEngine::Revised)
+      : tol_(tol), engine_(engine) {}
 
   /// Solves the LP; `maxIterations <= 0` selects an automatic limit.
   /// `warm` (optional) seeds the solve from a previous basis of a problem
@@ -76,13 +88,24 @@ class BoundedSimplex {
   LpResult solve(const LpProblem& problem, long long maxIterations = 0,
                  const SimplexBasis* warm = nullptr, SimplexBasis* basisOut = nullptr);
 
+  SolverEngine engine() const { return engine_; }
+
  private:
   double tol_;
-  // Retained inverse of the last optimal basis (warm-start accelerator for
-  // consecutive branch-and-bound node solves).
+  SolverEngine engine_;
+  // Retained factorization of the last optimal basis (warm-start accelerator
+  // for consecutive branch-and-bound node solves). Keyed on the problem's
+  // structural digest *and* the basis columns: matrices with equal row
+  // counts but different structure must never share a factorization (the
+  // historical cross-problem reuse hazard).
+  std::uint64_t cacheDigest_ = 0;
   std::vector<int> cacheBasic_;
-  std::vector<double> cacheBinv_;
-  int cacheRows_ = 0;
+  std::unique_ptr<BasisFactor> cacheFactor_;
 };
+
+/// FNV-1a digest of an LpProblem's matrix structure and coefficients
+/// (dimensions + column entries; bounds/cost/rhs excluded since a basis
+/// factorization depends only on the matrix). Exposed for tests.
+std::uint64_t lpStructuralDigest(const LpProblem& problem);
 
 }  // namespace hetpar::ilp

@@ -139,6 +139,7 @@ Parallelizer::LaneOutput Parallelizer::runLane(NodeId id, SolutionKind kind, Cla
   ilp::SolveOptions solveOpts;
   solveOpts.timeLimitSeconds = options_.ilpTimeLimitSeconds;
   solveOpts.maxNodes = options_.ilpMaxNodes;
+  solveOpts.engine = options_.solverEngine;
   ilp::BranchAndBoundSolver solver(solveOpts);
 
   // Pruning bound: the fastest known candidate for this class. Only this

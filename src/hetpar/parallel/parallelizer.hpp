@@ -46,6 +46,9 @@ struct ParallelizerOptions {
   /// Per-ILP solver limits.
   double ilpTimeLimitSeconds = 20.0;
   long long ilpMaxNodes = 400'000;
+  /// LP engine underneath branch and bound (Revised = sparse LU production
+  /// engine; Dense = the seed's explicit inverse, kept as an oracle).
+  ilp::SolverEngine solverEngine = ilp::SolverEngine::Revised;
   /// Enables the LoopChunked mode (ablation hook).
   bool enableChunking = true;
   /// Enables combining nested candidates (ablation hook: when false, only

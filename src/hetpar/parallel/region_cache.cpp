@@ -27,6 +27,9 @@ void putOptions(std::string& key, const ilp::SolveOptions& opts) {
   putI64(key, opts.maxNodes);
   putF64(key, opts.integralityTol);
   putF64(key, opts.feasibilityTol);
+  // Engines may break ties among alternate optima differently; memoized
+  // solutions must not leak across them.
+  putI64(key, static_cast<long long>(opts.engine));
 }
 
 }  // namespace

@@ -10,6 +10,11 @@ std::string IlpStatistics::summary() const {
                       numIlps, strings::formatThousands(numVars).c_str(),
                       strings::formatThousands(numConstraints).c_str(),
                       strings::formatThousands(bnbNodes).c_str(), wallSeconds);
+  if (simplexIterations > 0)
+    text += strings::format(", %s simplex iters (%lld refactor, %lld eta, %s peak fill)",
+                            strings::formatThousands(simplexIterations).c_str(),
+                            refactorizations, etaUpdates,
+                            strings::formatThousands(peakFillNonzeros).c_str());
   if (cacheHits + cacheMisses > 0)
     text += strings::format(", %lld cache hits / %lld misses", cacheHits, cacheMisses);
   return text;

@@ -14,6 +14,11 @@ struct IlpStatistics {
   long long bnbNodes = 0;
   long long simplexIterations = 0;
   double wallSeconds = 0.0;  ///< total solve time
+  /// LP-engine behavior: basis (re)factorizations, eta-file pivot updates
+  /// between them, and the peak basis-factor fill across all solves.
+  long long refactorizations = 0;
+  long long etaUpdates = 0;
+  long long peakFillNonzeros = 0;
   /// Region-cache traffic. A hit returns a memoized result without running
   /// the solver, so hits do NOT count toward numIlps or the solve totals;
   /// numIlps + cacheHits = regions the parallelizer asked to solve.
@@ -27,6 +32,9 @@ struct IlpStatistics {
     bnbNodes += s.nodesExplored;
     simplexIterations += s.simplexIterations;
     wallSeconds += s.wallSeconds;
+    refactorizations += s.refactorizations;
+    etaUpdates += s.etaUpdates;
+    if (s.peakFillNonzeros > peakFillNonzeros) peakFillNonzeros = s.peakFillNonzeros;
   }
 
   void merge(const IlpStatistics& other) {
@@ -36,6 +44,9 @@ struct IlpStatistics {
     bnbNodes += other.bnbNodes;
     simplexIterations += other.simplexIterations;
     wallSeconds += other.wallSeconds;
+    refactorizations += other.refactorizations;
+    etaUpdates += other.etaUpdates;
+    if (other.peakFillNonzeros > peakFillNonzeros) peakFillNonzeros = other.peakFillNonzeros;
     cacheHits += other.cacheHits;
     cacheMisses += other.cacheMisses;
   }

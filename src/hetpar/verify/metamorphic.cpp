@@ -65,6 +65,14 @@ ilp::SolveOptions deterministicSolverOptions() {
   return so;
 }
 
+/// Same, but honoring the LP engine the caller configured (regression
+/// replays re-run every region relation under both engines).
+ilp::SolveOptions deterministicSolverOptions(const MetamorphicOptions& options) {
+  ilp::SolveOptions so = deterministicSolverOptions();
+  so.engine = options.parallelizer.solverEngine;
+  return so;
+}
+
 // ---------------------------------------------------------------------------
 // Program-level relations
 // ---------------------------------------------------------------------------
@@ -533,7 +541,7 @@ RelationResult checkSectionSoundness(const std::string& source) {
 RelationResult checkGaVsIlp(std::uint64_t seed, const MetamorphicOptions& options) {
   Rng rng(seed);
   const parallel::IlpRegion region = randomTinyRegion(rng);
-  ilp::BranchAndBoundSolver solver(deterministicSolverOptions());
+  ilp::BranchAndBoundSolver solver(deterministicSolverOptions(options));
   const parallel::IlpParResult ilp = parallel::solveIlpPar(region, solver);
   if (!ilp.feasible || !ilp.provenOptimal)
     return skip(Relation::GaVsIlp, "ILP did not prove optimality within limits");
@@ -554,7 +562,7 @@ RelationResult checkGaVsIlp(std::uint64_t seed, const MetamorphicOptions& option
 RelationResult checkOracleTask(std::uint64_t seed, const MetamorphicOptions& options) {
   Rng rng(seed);
   const parallel::IlpRegion region = randomTinyRegion(rng);
-  ilp::BranchAndBoundSolver solver(deterministicSolverOptions());
+  ilp::BranchAndBoundSolver solver(deterministicSolverOptions(options));
   const parallel::IlpParResult ilp = parallel::solveIlpPar(region, solver);
   const OracleResult oracle = bruteForceTask(region);
   if (!oracle.feasible)
@@ -578,7 +586,7 @@ RelationResult checkOracleTask(std::uint64_t seed, const MetamorphicOptions& opt
 RelationResult checkOracleChunk(std::uint64_t seed, const MetamorphicOptions& options) {
   Rng rng(seed);
   const parallel::ChunkRegion region = randomTinyChunkRegion(rng);
-  ilp::BranchAndBoundSolver solver(deterministicSolverOptions());
+  ilp::BranchAndBoundSolver solver(deterministicSolverOptions(options));
   const parallel::ChunkResult ilp = parallel::solveChunkIlp(region, solver);
   const OracleResult oracle = bruteForceChunk(region);
   if (!oracle.feasible)
@@ -599,6 +607,58 @@ RelationResult checkOracleChunk(std::uint64_t seed, const MetamorphicOptions& op
   return pass(Relation::OracleChunk);
 }
 
+RelationResult checkSolverDifferential(std::uint64_t seed, const MetamorphicOptions& options) {
+  Rng rng(seed);
+  // Wider than the oracle relations: no enumeration happens here (the dense
+  // engine is the reference), so the instances can afford oracle-cap sizes.
+  TinyRegionOptions tiny;
+  tiny.maxChildren = 8;
+  tiny.maxTasks = 4;
+
+  ilp::SolveOptions denseOpts = deterministicSolverOptions();
+  denseOpts.engine = ilp::SolverEngine::Dense;
+  ilp::SolveOptions revisedOpts = deterministicSolverOptions();
+  revisedOpts.engine = ilp::SolverEngine::Revised;
+  ilp::BranchAndBoundSolver dense(denseOpts);
+  ilp::BranchAndBoundSolver revised(revisedOpts);
+
+  bool dFeasible, rFeasible, dProven, rProven;
+  double dSeconds, rSeconds;
+  const char* kind;
+  if ((seed & 1) == 0) {
+    kind = "task";
+    const parallel::IlpRegion region = randomTinyRegion(rng, tiny);
+    const parallel::IlpParResult d = parallel::solveIlpPar(region, dense);
+    const parallel::IlpParResult r = parallel::solveIlpPar(region, revised);
+    dFeasible = d.feasible; rFeasible = r.feasible;
+    dProven = d.provenOptimal; rProven = r.provenOptimal;
+    dSeconds = d.timeSeconds; rSeconds = r.timeSeconds;
+  } else {
+    kind = "chunk";
+    const parallel::ChunkRegion region = randomTinyChunkRegion(rng, tiny);
+    const parallel::ChunkResult d = parallel::solveChunkIlp(region, dense);
+    const parallel::ChunkResult r = parallel::solveChunkIlp(region, revised);
+    dFeasible = d.feasible; rFeasible = r.feasible;
+    dProven = d.provenOptimal; rProven = r.provenOptimal;
+    dSeconds = d.timeSeconds; rSeconds = r.timeSeconds;
+  }
+
+  if (dFeasible != rFeasible)
+    return fail(Relation::SolverDifferential,
+                strings::format("%s region: dense says %s, revised says %s", kind,
+                                dFeasible ? "feasible" : "infeasible",
+                                rFeasible ? "feasible" : "infeasible"));
+  if (!dFeasible) return pass(Relation::SolverDifferential);
+  if (!dProven || !rProven)
+    return skip(Relation::SolverDifferential,
+                "an engine did not prove optimality within limits");
+  if (!closeEnough(dSeconds, rSeconds, options.relTol, options.absTolSeconds))
+    return fail(Relation::SolverDifferential,
+                strings::format("%s region: dense optimum %.12g s vs revised %.12g s",
+                                kind, dSeconds, rSeconds));
+  return pass(Relation::SolverDifferential);
+}
+
 }  // namespace
 
 parallel::ParallelizerOptions MetamorphicOptions::deterministicOptions() {
@@ -607,12 +667,12 @@ parallel::ParallelizerOptions MetamorphicOptions::deterministicOptions() {
   // them with a (deterministic) node cap as the jobs-invariance tests do.
   o.ilpTimeLimitSeconds = 1e9;
   o.ilpMaxNodes = 2'000;
-  // Keep the per-region models small: every relation must hold under any
-  // configuration, and small models buy fuzz throughput (the bundled
-  // simplex pays dearly for large tableaus).
-  o.maxTasksPerRegion = 2;
+  // Paper-realistic region sizes: the sparse revised simplex keeps the
+  // per-region models cheap enough that the fuzz profile no longer needs to
+  // shrink them (the dense engine forced 2 tasks / 8 chunks here).
+  o.maxTasksPerRegion = 4;
   o.maxCandidatesPerClass = 2;
-  o.chunkCount = 8;
+  o.chunkCount = 16;
   return o;
 }
 
@@ -621,6 +681,7 @@ std::vector<Relation> allRelations() {
           Relation::SingleClassHomogeneous, Relation::JobsInvariance,
           Relation::CacheInvariance, Relation::GaVsIlp,
           Relation::OracleTask,     Relation::OracleChunk,
+          Relation::SolverDifferential,
           Relation::SimConsistency, Relation::RefinementSoundness,
           Relation::ScheduleValidity, Relation::SectionSoundness};
 }
@@ -635,6 +696,7 @@ std::string relationName(Relation r) {
     case Relation::GaVsIlp: return "ga-vs-ilp";
     case Relation::OracleTask: return "oracle-task";
     case Relation::OracleChunk: return "oracle-chunk";
+    case Relation::SolverDifferential: return "solver-differential";
     case Relation::SimConsistency: return "sim-consistency";
     case Relation::RefinementSoundness: return "refinement-soundness";
     case Relation::ScheduleValidity: return "schedule-validity";
@@ -668,6 +730,7 @@ bool isProgramRelation(Relation r) {
     case Relation::GaVsIlp:
     case Relation::OracleTask:
     case Relation::OracleChunk:
+    case Relation::SolverDifferential:
       return false;
     default:
       return true;
@@ -752,6 +815,8 @@ RelationResult checkRegionRelation(Relation r, std::uint64_t seed,
       return checkOracleTask(seed, options);
     case Relation::OracleChunk:
       return checkOracleChunk(seed, options);
+    case Relation::SolverDifferential:
+      return checkSolverDifferential(seed, options);
     default:
       break;
   }

@@ -29,6 +29,11 @@
 //                        no section-level hazard: tasks whose access
 //                        summaries may conflict never overlap in simulated
 //                        time on different cores
+//   SolverDifferential   the production sparse revised simplex and the
+//                        retained dense-inverse engine agree on feasibility,
+//                        optimality and objective for the same ILPPAR
+//                        region (region-level; the two engines share only
+//                        the simplex driver, not the basis representation)
 //   SectionSoundness     ground truth for the section analysis: the
 //                        interpreter traces every global-array element
 //                        access and checks, per top-level statement, that
@@ -61,6 +66,7 @@ enum class Relation {
   GaVsIlp,
   OracleTask,
   OracleChunk,
+  SolverDifferential,
   SimConsistency,
   RefinementSoundness,
   ScheduleValidity,

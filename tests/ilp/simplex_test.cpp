@@ -8,16 +8,18 @@ namespace hetpar::ilp {
 namespace {
 
 // Convenience: solve a Model's LP relaxation via buildLp + BoundedSimplex.
-LpResult relax(const Model& m) {
+LpResult relaxWith(const Model& m, SolverEngine engine) {
   std::vector<double> lb, ub;
   for (const auto& v : m.vars()) {
     lb.push_back(v.lowerBound);
     ub.push_back(v.upperBound);
   }
   StandardForm sf = buildLp(m, lb, ub);
-  BoundedSimplex simplex;
+  BoundedSimplex simplex(1e-9, engine);
   return simplex.solve(sf.problem);
 }
+
+LpResult relax(const Model& m) { return relaxWith(m, SolverEngine::Revised); }
 
 TEST(Simplex, TextbookTwoVarMaximize) {
   // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0 -> 36 at (2,6)
@@ -187,6 +189,158 @@ TEST(Simplex, ModeratelySizedDiagonalSystem) {
   ASSERT_EQ(r.status, LpStatus::Optimal);
   // Optimum alternates 2,0,2,... -> 31 * 2 = 62.
   EXPECT_NEAR(-r.objective, 62.0, 1e-5);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial numeric corpus. Each case is a known LP pathology — cycling
+// degeneracy, near-singular bases, extreme coefficient scales — with a known
+// optimum, run through BOTH engines. The corpus pins down behaviors the
+// random differential sweep only hits by luck.
+
+struct AdversarialCase {
+  const char* name;
+  Model (*build)();
+  double expectedObjective;  // internal (minimized) objective
+  double tol;
+};
+
+// Beale's classic cycling example: the Dantzig rule cycles forever on this
+// degenerate LP; termination requires the anti-cycling (Bland) fallback.
+Model bealeCycling() {
+  Model m;
+  Var x1 = m.addContinuous(0, kInfinity, "x1");
+  Var x2 = m.addContinuous(0, kInfinity, "x2");
+  Var x3 = m.addContinuous(0, kInfinity, "x3");
+  Var x4 = m.addContinuous(0, kInfinity, "x4");
+  m.addLe(0.25 * LinearExpr(x1) - 60.0 * LinearExpr(x2) - 0.04 * LinearExpr(x3) +
+              9.0 * LinearExpr(x4),
+          0.0);
+  m.addLe(0.5 * LinearExpr(x1) - 90.0 * LinearExpr(x2) - 0.02 * LinearExpr(x3) +
+              3.0 * LinearExpr(x4),
+          0.0);
+  m.addLe(LinearExpr(x3), 1.0);
+  m.setObjective(-0.75 * LinearExpr(x1) + 150.0 * LinearExpr(x2) -
+                     0.02 * LinearExpr(x3) + 6.0 * LinearExpr(x4),
+                 Sense::Minimize);
+  return m;  // optimum -0.05 at (0.04, 0, 1, 0)
+}
+
+// Two rows that differ by 1e-5 in one coefficient: a basis containing both
+// rows has condition number ~1e5, stressing the pivot tolerance (dense) and
+// the Markowitz threshold + singularity guard (LU). The perturbation sits
+// above the 1e-7 feasibility tolerance on purpose — anything smaller and
+// the solver is entitled to treat the rows as one constraint.
+Model nearSingularRows() {
+  Model m;
+  Var x = m.addContinuous(-5, 5, "x");
+  Var y = m.addContinuous(-5, 5, "y");
+  m.addEq(LinearExpr(x) + LinearExpr(y), 1.0);
+  m.addEq(LinearExpr(x) + (1.0 + 1e-5) * LinearExpr(y), 1.0 + 2e-5);
+  m.setObjective(LinearExpr(x), Sense::Minimize);
+  return m;  // unique solution x=-1, y=2
+}
+
+// Cost/rhs magnitudes at 1e+8: absolute tolerances tuned for O(1) data must
+// not misclassify feasibility or optimality.
+Model largeScale() {
+  Model m;
+  Var x = m.addContinuous(0, 1e8, "x");
+  Var y = m.addContinuous(0, 1e8, "y");
+  m.addEq(LinearExpr(x) + LinearExpr(y), 1e8);
+  m.setObjective(1e-8 * LinearExpr(x) + 2e-8 * LinearExpr(y), Sense::Minimize);
+  return m;  // x takes everything: objective 1.0
+}
+
+// Matrix coefficient at 1e+8 against O(1) rows: the ratio test and the
+// factor update both see pivots eight orders of magnitude apart.
+Model mixedScale() {
+  Model m;
+  Var x = m.addContinuous(0, 10, "x");
+  Var y = m.addContinuous(0, 1, "y");
+  m.addEq(1e8 * LinearExpr(x) + LinearExpr(y), 1e8);
+  m.setObjective(LinearExpr(x), Sense::Minimize);
+  return m;  // y=1, x=(1e8-1)/1e8: objective 1 - 1e-8
+}
+
+// 3x3 assignment polytope written with ALL six (redundant, rank-5) equality
+// rows: every basis carries a zero-level artificial, every vertex is
+// degenerate. Exercises rank-deficient phase 1 and degenerate pivoting.
+Model degenerateAssignment() {
+  Model m;
+  const double cost[3][3] = {{1, 2, 3}, {2, 1, 3}, {3, 2, 1}};
+  Var x[3][3];
+  LinearExpr obj;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) {
+      x[i][j] = m.addContinuous(0, 1, "x" + std::to_string(i) + std::to_string(j));
+      obj += cost[i][j] * LinearExpr(x[i][j]);
+    }
+  for (int i = 0; i < 3; ++i) {
+    LinearExpr row, col;
+    for (int j = 0; j < 3; ++j) {
+      row += LinearExpr(x[i][j]);
+      col += LinearExpr(x[j][i]);
+    }
+    m.addEq(row, 1.0);
+    m.addEq(col, 1.0);
+  }
+  m.setObjective(obj, Sense::Minimize);
+  return m;  // diagonal assignment: objective 3
+}
+
+class AdversarialSweep : public ::testing::TestWithParam<AdversarialCase> {};
+
+TEST_P(AdversarialSweep, BothEnginesReachKnownOptimum) {
+  const AdversarialCase& c = GetParam();
+  const Model m = c.build();
+  for (SolverEngine engine : {SolverEngine::Revised, SolverEngine::Dense}) {
+    const LpResult r = relaxWith(m, engine);
+    ASSERT_EQ(r.status, LpStatus::Optimal)
+        << c.name << (engine == SolverEngine::Dense ? " (dense)" : " (revised)");
+    EXPECT_NEAR(r.objective, c.expectedObjective, c.tol)
+        << c.name << (engine == SolverEngine::Dense ? " (dense)" : " (revised)");
+    if (engine == SolverEngine::Revised) {
+      // Every cold revised solve factorizes at least once and reports it.
+      EXPECT_GE(r.factorStats.refactorizations, 1) << c.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, AdversarialSweep,
+    ::testing::Values(AdversarialCase{"beale-cycling", &bealeCycling, -0.05, 1e-9},
+                      AdversarialCase{"near-singular-rows", &nearSingularRows, -1.0, 1e-5},
+                      AdversarialCase{"large-scale", &largeScale, 1.0, 1e-4},
+                      AdversarialCase{"mixed-scale", &mixedScale, 1.0 - 1e-8, 1e-6},
+                      AdversarialCase{"degenerate-assignment", &degenerateAssignment, 3.0,
+                                      1e-6}),
+    [](const ::testing::TestParamInfo<AdversarialCase>& info) {
+      std::string n = info.param.name;
+      for (char& ch : n)
+        if (ch == '-') ch = '_';
+      return n;
+    });
+
+// An 80-row chained system needs well over 80 pivots; the product-form eta
+// file must overflow its cap (clamp(m, 32, 160)) mid-solve and trigger at
+// least one refactorization beyond the initial factorize.
+TEST(SimplexAdversarial, EtaCapTriggersRefactorization) {
+  Model m;
+  std::vector<Var> xs;
+  for (int i = 0; i < 81; ++i) xs.push_back(m.addContinuous(0, 2, "x" + std::to_string(i)));
+  LinearExpr sum;
+  for (auto v : xs) sum += LinearExpr(v);
+  for (int i = 0; i < 80; ++i) m.addLe(LinearExpr(xs[i]) + LinearExpr(xs[i + 1]), 2.0);
+  m.setObjective(sum, Sense::Maximize);
+  const LpResult r = relaxWith(m, SolverEngine::Revised);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(-r.objective, 82.0, 1e-5);
+  EXPECT_GE(r.iterations, 81);
+  EXPECT_GE(r.factorStats.refactorizations, 2)
+      << "eta-length trigger never fired over " << r.iterations << " iterations";
+  EXPECT_GE(r.factorStats.etaUpdates, 1);
+  EXPECT_GE(r.factorStats.peakEtaLength, 1);
+  EXPECT_GT(r.factorStats.peakFillNonzeros, 0);
 }
 
 }  // namespace

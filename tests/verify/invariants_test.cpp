@@ -52,8 +52,16 @@ class InvariantsTest : public ::testing::Test {
     bundle_ = new htg::FrontendBundle(htg::buildFromSource(kSource));
     pf_ = new platform::Platform(makePlatform());
     timing_ = new cost::TimingModel(*pf_);
-    parallel::Parallelizer par(bundle_->graph, *timing_,
-                               verify::MetamorphicOptions::deterministicOptions());
+    parallel::ParallelizerOptions opts =
+        verify::MetamorphicOptions::deterministicOptions();
+    // The mutation tests below need a TaskParallel candidate spawning >= 2
+    // tasks. Under the widened fuzz profile (4 tasks / 16 chunks) the
+    // chunked child loops absorb all four processors and the optimum
+    // carries this region on one task, so pin the narrower profile the
+    // fixture's source program was designed around.
+    opts.maxTasksPerRegion = 2;
+    opts.chunkCount = 8;
+    parallel::Parallelizer par(bundle_->graph, *timing_, opts);
     outcome_ = new parallel::ParallelizeOutcome(par.run());
   }
   static void TearDownTestSuite() {

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "hetpar/ilp/branch_and_bound.hpp"
 #include "hetpar/pipeline/pass.hpp"
 #include "hetpar/platform/parser.hpp"
 #include "hetpar/support/error.hpp"
@@ -285,6 +286,20 @@ int main(int argc, char** argv) {
     }
   }
   json += "  },\n";
+  // Process-wide LP-engine totals across every branch-and-bound solve the
+  // cases performed (both engines when the differential relation ran).
+  {
+    const ilp::SolverTotals t = ilp::solverTotals();
+    json += "  \"simplex\": {\n";
+    json += strings::format(
+        "    \"solves\": %lld, \"bnbNodes\": %lld, \"iterations\": %lld,\n"
+        "    \"iterationsPerSecond\": %.0f, \"refactorizations\": %lld,\n"
+        "    \"etaUpdates\": %lld, \"peakFillNonzeros\": %lld, \"wallSeconds\": %.3f\n",
+        t.solves, t.bnbNodes, t.simplexIterations,
+        t.wallSeconds > 0 ? static_cast<double>(t.simplexIterations) / t.wallSeconds : 0.0,
+        t.refactorizations, t.etaUpdates, t.peakFillNonzeros, t.wallSeconds);
+    json += "  },\n";
+  }
   json += "  \"results\": [\n";
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     const CaseOutcome& o = outcomes[i];

@@ -25,6 +25,9 @@
 //   --jobs <n>              solver threads; in batch mode, concurrent
 //                           programs (0 = all hardware threads; default 1;
 //                           the outcome is identical for any n)
+//   --solver <engine>       LP engine: revised (default; sparse LU with eta
+//                           updates) or dense (the explicit-inverse oracle,
+//                           kept for differential checks)
 //   --batch <dir>           compile every *.c file under <dir> (sorted)
 //   --programs <f>...       compile the listed files (all later positional
 //                           arguments are inputs)
@@ -45,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "hetpar/ilp/branch_and_bound.hpp"
 #include "hetpar/parallel/homogeneous.hpp"
 #include "hetpar/parallel/region_cache.hpp"
 #include "hetpar/pipeline/batch.hpp"
@@ -70,6 +74,7 @@ struct Options {
   std::string emitPremap;
   std::string emitDot;
   std::string depMode = "conservative";
+  std::string solver = "revised";
   std::string cacheDir;
   bool dumpDeps = false;
   bool simulate = false;
@@ -89,6 +94,7 @@ void usage() {
                "  --emit-annotated <f>  --emit-parspec <f>  --emit-premap <f>  --emit-dot <f>\n"
                "  --dep-mode conservative|affine  --dump-deps\n"
                "  --simulate  --baseline  --stats  --seq-only  --jobs <n>\n"
+               "  --solver revised|dense\n"
                "  --batch <dir>  --programs <f>...  --cache-dir <dir>  --explain-timings\n");
 }
 
@@ -126,6 +132,13 @@ bool parseArgs(int argc, char** argv, Options& opts) {
       opts.depMode = value;
       if (opts.depMode != "conservative" && opts.depMode != "affine") {
         std::fprintf(stderr, "hetparc: --dep-mode expects 'conservative' or 'affine'\n");
+        return false;
+      }
+    } else if (arg == "--solver") {
+      if ((value = needValue(i)) == nullptr) return false;
+      opts.solver = value;
+      if (opts.solver != "revised" && opts.solver != "dense") {
+        std::fprintf(stderr, "hetparc: --solver expects 'revised' or 'dense'\n");
         return false;
       }
     } else if (arg == "--dump-deps") {
@@ -268,6 +281,17 @@ std::shared_ptr<hetpar::pipeline::ArtifactCache> openCache(const Options& opts) 
 
 void printTimings(const std::vector<hetpar::pipeline::PassRecord>& records) {
   std::fprintf(stderr, "%s", hetpar::pipeline::formatPassTable(records).c_str());
+  const hetpar::ilp::SolverTotals t = hetpar::ilp::solverTotals();
+  if (t.solves > 0) {
+    std::fprintf(stderr,
+                 "lp engine: %lld solves, %lld bnb nodes, %lld simplex iters "
+                 "(%.0f iters/s), %lld refactorizations, %lld eta updates, "
+                 "peak fill %lld nonzeros\n",
+                 t.solves, t.bnbNodes, t.simplexIterations,
+                 t.wallSeconds > 0 ? static_cast<double>(t.simplexIterations) / t.wallSeconds
+                                   : 0.0,
+                 t.refactorizations, t.etaUpdates, t.peakFillNonzeros);
+  }
 }
 
 int runSingle(const Options& opts) {
@@ -287,6 +311,9 @@ int runSingle(const Options& opts) {
   inputs.platform = pf;
   inputs.depMode = depMode;
   inputs.parallelizer.jobs = opts.jobs;
+  inputs.parallelizer.solverEngine = opts.solver == "dense"
+                                         ? ilp::SolverEngine::Dense
+                                         : ilp::SolverEngine::Revised;
   inputs.artifactCache = openCache(opts);
   pipeline::Session session(std::move(inputs));
 
@@ -366,6 +393,9 @@ int runBatchMode(const Options& opts) {
   config.depMode = opts.depMode == "affine" ? ir::DependenceMode::Affine
                                             : ir::DependenceMode::Conservative;
   config.parallelizer.dependenceMode = config.depMode;
+  config.parallelizer.solverEngine = opts.solver == "dense"
+                                         ? ilp::SolverEngine::Dense
+                                         : ilp::SolverEngine::Revised;
   config.simulate = opts.simulate;
   config.workers = opts.jobs;
   config.artifactCache = openCache(opts);
