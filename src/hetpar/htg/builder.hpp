@@ -33,12 +33,15 @@ struct FrontendBundle {
   frontend::Program program;
   frontend::SemaResult sema;
   std::unique_ptr<ir::DefUseAnalysis> defuse;
+  /// Only built in FlowMode::Live (liveness, constprop, diagnostics).
+  std::unique_ptr<ir::DataflowAnalysis> dataflow;
   std::unique_ptr<ir::SectionAnalysis> sections;  ///< always built (for dumps)
   cost::ProgramProfile profile;
   Graph graph;
 };
 
 FrontendBundle buildFromSource(std::string_view source,
-                               ir::DependenceMode mode = ir::DependenceMode::Conservative);
+                               ir::DependenceMode mode = ir::DependenceMode::Conservative,
+                               ir::FlowMode flow = ir::FlowMode::Conservative);
 
 }  // namespace hetpar::htg

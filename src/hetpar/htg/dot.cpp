@@ -39,8 +39,20 @@ void emitNode(std::ostringstream& os, const Graph& g, NodeId id, int depth,
   for (const Edge& e : n.edges) {
     os << indent << "  n" << e.from << " -> n" << e.to;
     os << " [label=\"";
-    if (e.kind == ir::DepKind::Flow) os << e.bytes << "B";
-    else os << (e.kind == ir::DepKind::Anti ? "anti" : "out");
+    if (e.kind == ir::DepKind::Flow) {
+      os << e.bytes << "B";
+      if (baseline != nullptr) {
+        // Liveness pruning can shrink a payload without dropping the edge;
+        // show the conservative size so the reduction is visible.
+        for (const Edge& be : baseline->node(id).edges)
+          if (be.from == e.from && be.to == e.to && be.kind == e.kind) {
+            if (be.bytes > e.bytes) os << " (was " << be.bytes << "B)";
+            break;
+          }
+      }
+    } else {
+      os << (e.kind == ir::DepKind::Anti ? "anti" : "out");
+    }
     os << "\"";
     if (e.kind != ir::DepKind::Flow) os << ", style=dashed";
     os << "];\n";

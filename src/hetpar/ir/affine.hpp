@@ -8,6 +8,7 @@
 // conservative whole-object treatment.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 
@@ -30,8 +31,12 @@ struct IvRange {
 
 /// IV name + range of `for (i = c0; i REL c1; i = i +/- c2) ...`; nullopt
 /// when the loop is not canonical, has an unknown trip count, or runs zero
-/// iterations.
+/// iterations. The `env` overload also folds bounds through variables the
+/// constant-propagation client proved constant at the loop head
+/// (ir/dataflow.hpp), matching the staticTripCount overload.
 std::optional<std::pair<std::string, IvRange>> ivRangeOf(const frontend::ForStmt& loop);
+std::optional<std::pair<std::string, IvRange>> ivRangeOf(
+    const frontend::ForStmt& loop, const std::map<std::string, long long>* env);
 
 /// A subscript lifted to `c0 + c1 * iv`. `iv` empty (with c1 == 0) means
 /// the subscript is the constant c0.

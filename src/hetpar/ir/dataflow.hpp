@@ -1,0 +1,151 @@
+// Monotone dataflow framework over the mini-C statement hierarchy.
+//
+// The mini-C AST has structured control flow only (no goto), so instead of
+// building a CFG the framework walks the statement tree directly: backward
+// analyses fold statement lists right-to-left, forward analyses left-to-right,
+// and loop bodies are iterated to a fixpoint (the lattices are finite maps
+// over the program's variable names, so termination is by monotonicity).
+// Calls are resolved through the existing `FunctionEffects` summaries
+// (ir/defuse.hpp): a callee's global/array-parameter reads appear as uses at
+// the call site, its writes as *may*-writes (they never kill).
+//
+// Three clients share the framework:
+//
+//   Live variables (backward) — liveAfter(stmt) is the set of variables whose
+//   current value may still be read after `stmt` completes (within the
+//   enclosing function; at a non-main function's exit every global and array
+//   parameter is conservatively live, at main's exit nothing is). The htg
+//   builder uses it in FlowMode::Live to prune CommOut payloads to live
+//   values and CommIn payloads to upward-exposed uses. Kills compose with
+//   the affine section layer: a statement whose write summary must-covers the
+//   whole object (and that reads nothing of it) kills the variable — but only
+//   at loop depth 0, where the widened per-statement sections describe a
+//   single execution of the statement exactly.
+//
+//   Reaching definitions (forward) — powers `hetparc --diagnose`: reads of
+//   possibly-uninitialized scalars, stores never read (dead stores), and
+//   variables written but never read anywhere (write-only), each with source
+//   locations.
+//
+//   Conditional constant propagation (forward) — per canonical loop, the map
+//   of integer scalars provably constant at the loop head on every entry.
+//   ir/tripcount and ir/affine accept these environments so
+//   symbolic-looking-but-constant bounds fold instead of degrading to ⊤;
+//   the section analysis wires them in through its ConstEnvFn hook.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hetpar/frontend/ast.hpp"
+#include "hetpar/frontend/sema.hpp"
+#include "hetpar/ir/defuse.hpp"
+#include "hetpar/ir/sections.hpp"
+
+namespace hetpar::ir {
+
+/// How the htg builder books communication payloads. Conservative reproduces
+/// the historical behavior bit for bit; Live prunes CommIn/CommOut payloads
+/// by liveness (requires a DataflowAnalysis).
+enum class FlowMode { Conservative, Live };
+
+/// One lint finding from the reaching-definitions / write-only clients.
+struct FlowDiagnostic {
+  enum class Kind { UninitializedRead, DeadStore, WriteOnly };
+  Kind kind = Kind::UninitializedRead;
+  std::string function;  ///< enclosing function; empty for global scope
+  std::string variable;
+  frontend::SourceLoc loc;
+};
+
+/// "uninitialized-read" / "dead-store" / "write-only".
+std::string flowDiagnosticKindName(FlowDiagnostic::Kind kind);
+
+/// Human-readable one-line rendering ("'x' may be read uninitialized").
+std::string flowDiagnosticMessage(const FlowDiagnostic& d);
+
+class DataflowAnalysis {
+ public:
+  /// `program` must have been through sema (`analyze`); `defuse` must have
+  /// been built for the same program. The constructor runs constant
+  /// propagation first, builds an internal SectionAnalysis sharpened by the
+  /// folded loop bounds, then runs liveness and the diagnostics clients
+  /// against it. All query results are precomputed here.
+  DataflowAnalysis(const frontend::Program& program, const frontend::SemaResult& sema,
+                   const DefUseAnalysis& defuse);
+
+  /// Variables whose value may be read after `stmt` completes (including by
+  /// later loop iterations and, transitively, by code after the enclosing
+  /// function returns). `stmt` must belong to a function body.
+  const std::set<std::string>& liveAfter(const frontend::Stmt& stmt) const;
+
+  /// Variables with an upward-exposed use in `stmt`'s subtree: their value
+  /// on entry to the statement may be read before being overwritten. Always
+  /// a subset of the subtree's actual reads (the def/use layer's pseudo-use
+  /// of a partially written array is not upward-exposed by itself).
+  const std::set<std::string>& upwardExposed(const frontend::Stmt& stmt) const;
+
+  /// Integer scalars provably constant at the loop head on every entry
+  /// (suitable for evalConstInt / staticTripCount / ivRangeOf env
+  /// parameters); nullptr when nothing is known.
+  const std::map<std::string, long long>* constEnvAt(const frontend::ForStmt& loop) const;
+
+  /// Lint findings, sorted by source location. Populated at construction.
+  const std::vector<FlowDiagnostic>& diagnostics() const { return diagnostics_; }
+
+  /// The constant-propagation-sharpened section analysis built internally.
+  const SectionAnalysis& sections() const { return *sections_; }
+
+  /// Transfers ownership of the internal section analysis (the caller must
+  /// keep it alive no longer than this object's other results are used; all
+  /// dataflow results are precomputed, so no back-reference survives).
+  std::unique_ptr<SectionAnalysis> takeSections() { return std::move(sections_); }
+
+  /// Test-only fault injection: treat partial (element) array writes as full
+  /// kills. This is deliberately unsound — the verify harness's
+  /// liveness-soundness relation must catch it (falsifiability check).
+  static bool& testTreatPartialArrayWritesAsKills();
+
+ private:
+  using LiveSet = std::set<std::string>;
+  using ConstEnv = std::map<std::string, long long>;
+
+  // --- liveness ---
+  void runLiveness(const frontend::Function& fn);
+  LiveSet seqBefore(const std::vector<frontend::StmtPtr>& stmts, LiveSet after,
+                    const frontend::Function* fn, bool record, int loopDepth);
+  LiveSet stmtBefore(const frontend::Stmt& stmt, LiveSet after, const frontend::Function* fn,
+                     bool record, int loopDepth);
+  void liveExprUses(const frontend::Expr& expr, LiveSet& out) const;
+  bool ambiguousName(const frontend::Function* fn, const std::string& name) const;
+
+  // --- constant propagation ---
+  void runConstProp(const frontend::Function& fn, ConstEnv entry);
+  ConstEnv cpSeq(const std::vector<frontend::StmtPtr>& stmts, ConstEnv env,
+                 const frontend::Function* fn);
+  ConstEnv cpStmt(const frontend::Stmt& stmt, ConstEnv env, const frontend::Function* fn);
+  void cpKillExprCallWrites(const frontend::Expr& expr, ConstEnv& env) const;
+  bool isTrackedInt(const frontend::Function* fn, const std::string& name) const;
+
+  // --- diagnostics ---
+  void runReachingDefs(const frontend::Function& fn);
+  void runWriteOnlyScan();
+
+  const frontend::Program& program_;
+  const frontend::SemaResult& sema_;
+  const DefUseAnalysis& defuse_;
+  std::unique_ptr<SectionAnalysis> sections_;
+
+  std::map<const frontend::Stmt*, LiveSet> liveAfter_;
+  std::map<const frontend::Stmt*, LiveSet> upward_;
+  std::map<const frontend::ForStmt*, ConstEnv> constEnv_;
+  /// Names that are a param/local of the function *and* a global: name-based
+  /// reasoning cannot tell the two objects apart, so kills are suppressed.
+  std::map<const frontend::Function*, std::set<std::string>> shadowed_;
+  std::vector<FlowDiagnostic> diagnostics_;
+};
+
+}  // namespace hetpar::ir

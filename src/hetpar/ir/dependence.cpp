@@ -250,12 +250,35 @@ std::vector<DepEdge> computeSiblingDeps(const std::vector<const frontend::Stmt*>
 RegionFlow computeRegionFlow(const std::vector<const frontend::Stmt*>& siblings,
                              const DefUseAnalysis& du, const frontend::Function* fn,
                              const DependenceOptions& options) {
+  RegionFlow flow;
   if (options.mode == DependenceMode::Affine) {
     HETPAR_CHECK_MSG(options.sections != nullptr,
                      "affine dependence mode requires a SectionAnalysis");
-    return regionFlowAffine(siblings, du, fn, *options.sections);
+    flow = regionFlowAffine(siblings, du, fn, *options.sections);
+  } else {
+    flow = regionFlowConservative(siblings, du, fn);
   }
-  return regionFlowConservative(siblings, du, fn);
+  if (options.flow == FlowMode::Live && !siblings.empty()) {
+    HETPAR_CHECK_MSG(options.dataflow != nullptr,
+                     "live flow mode requires a DataflowAnalysis");
+    // Inbound: a sibling only needs a variable whose incoming value it may
+    // actually read (upward-exposed use); the def/use pseudo-use of a
+    // partially written array books bytes here otherwise. Outbound: the
+    // region only publishes variables still live after it completes —
+    // liveAfter of the last sibling is exactly the region's live-out set
+    // (values consumed between two siblings travel on the internal flow
+    // edge, not through the Communication-Out node).
+    const DataflowAnalysis& dfa = *options.dataflow;
+    const std::set<std::string>& liveOut = dfa.liveAfter(*siblings.back());
+    for (std::size_t i = 0; i < siblings.size(); ++i) {
+      const std::set<std::string>& exposed = dfa.upwardExposed(*siblings[i]);
+      std::erase_if(flow.inbound[i],
+                    [&](const auto& kv) { return exposed.count(kv.first) == 0; });
+      std::erase_if(flow.outbound[i],
+                    [&](const auto& kv) { return liveOut.count(kv.first) == 0; });
+    }
+  }
+  return flow;
 }
 
 }  // namespace hetpar::ir

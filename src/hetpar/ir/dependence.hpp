@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "hetpar/ir/dataflow.hpp"
 #include "hetpar/ir/defuse.hpp"
 #include "hetpar/ir/sections.hpp"
 
@@ -40,6 +41,14 @@ struct DependenceOptions {
   DependenceMode mode = DependenceMode::Conservative;
   /// Required when mode == Affine; ignored otherwise.
   const SectionAnalysis* sections = nullptr;
+  /// FlowMode::Live prunes region-boundary payloads by liveness: inbound
+  /// keeps only variables with an upward-exposed use in the consuming
+  /// sibling, outbound only variables live after the region. Orthogonal to
+  /// `mode` (composes with either granularity); Conservative leaves the
+  /// historical payloads untouched.
+  FlowMode flow = FlowMode::Conservative;
+  /// Required when flow == Live; ignored otherwise.
+  const DataflowAnalysis* dataflow = nullptr;
 };
 
 struct DepEdge {

@@ -123,8 +123,9 @@ struct SectionAnalysis::Context {
   bool* sawReturn = nullptr;  ///< per-function: an earlier return was seen
 };
 
-SectionAnalysis::SectionAnalysis(const Program& program, const frontend::SemaResult& sema)
-    : program_(program), sema_(sema) {
+SectionAnalysis::SectionAnalysis(const Program& program, const frontend::SemaResult& sema,
+                                 ConstEnvFn constEnv)
+    : program_(program), sema_(sema), constEnv_(std::move(constEnv)) {
   // Callees before callers so call sites find section effects ready.
   for (const Function* fn : sema.bottomUpOrder)
     effects_.emplace(fn, computeEffects(*fn));
@@ -132,6 +133,9 @@ SectionAnalysis::SectionAnalysis(const Program& program, const frontend::SemaRes
   Context ctx;
   ctx.sawReturn = &sawReturn;
   for (const auto& g : program.globals) analyzeStmt(*g, nullptr, ctx);
+  // All per-statement summaries exist now; drop the hook so the analysis
+  // never calls back into a provider that may have been destroyed.
+  constEnv_ = nullptr;
 }
 
 const AccessSummary& SectionAnalysis::of(const Stmt& stmt) const {
@@ -315,7 +319,7 @@ AccessSummary SectionAnalysis::analyzeStmt(const Stmt& stmt, const Function* fn,
       const auto& s = static_cast<const ForStmt&>(stmt);
       if (s.init) absorb(analyzeStmt(*s.init, fn, here), false);
       Context body = here;
-      auto ivr = ivRangeOf(s);
+      auto ivr = constEnv_ ? ivRangeOf(s, constEnv_(s)) : ivRangeOf(s);
       // The widening over ivRangeOf assumes the canonical step is the only
       // update of the IV. A body (or cond) write to it — direct assignment,
       // a shadowing redeclaration, or a callee writing a same-named global —

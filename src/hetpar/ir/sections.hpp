@@ -27,6 +27,7 @@
 // smearing to the whole object.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -83,8 +84,17 @@ struct FunctionSectionEffects {
 
 class SectionAnalysis {
  public:
-  /// `program` must have been through sema (`analyze`).
-  SectionAnalysis(const frontend::Program& program, const frontend::SemaResult& sema);
+  /// Optional constant-propagation hook: given a loop, the integer scalars
+  /// provably constant at its head (nullptr when nothing is known). Queried
+  /// only during construction, so the callable need not outlive the ctor.
+  using ConstEnvFn =
+      std::function<const std::map<std::string, long long>*(const frontend::ForStmt&)>;
+
+  /// `program` must have been through sema (`analyze`). When `constEnv` is
+  /// set, loops whose bounds fold to constants under it get real induction
+  /// ranges instead of the ⊤ fallback.
+  SectionAnalysis(const frontend::Program& program, const frontend::SemaResult& sema,
+                  ConstEnvFn constEnv = nullptr);
 
   /// Summary of `stmt` (aggregated over its whole subtree, widened over the
   /// enclosing loops' iteration spaces).
@@ -138,6 +148,7 @@ class SectionAnalysis {
 
   const frontend::Program& program_;
   const frontend::SemaResult& sema_;
+  ConstEnvFn constEnv_;  ///< cleared after construction (see ctor)
   std::map<const frontend::Stmt*, AccessSummary> perStmt_;
   std::map<const frontend::Function*, FunctionSectionEffects> effects_;
 };

@@ -16,21 +16,29 @@ using frontend::UnaryExpr;
 using frontend::UnaryOp;
 using frontend::VarRef;
 
-std::optional<long long> evalConstInt(const Expr& expr) {
+using ConstEnv = std::map<std::string, long long>;
+
+std::optional<long long> evalConstInt(const Expr& expr, const ConstEnv* env) {
   switch (expr.kind) {
     case ExprKind::IntLit:
       return static_cast<const frontend::IntLit&>(expr).value;
+    case ExprKind::VarRef: {
+      if (env == nullptr) return std::nullopt;
+      const auto it = env->find(static_cast<const VarRef&>(expr).name);
+      if (it == env->end()) return std::nullopt;
+      return it->second;
+    }
     case ExprKind::Unary: {
       const auto& e = static_cast<const UnaryExpr&>(expr);
       if (e.op != UnaryOp::Neg) return std::nullopt;
-      auto v = evalConstInt(*e.operand);
+      auto v = evalConstInt(*e.operand, env);
       if (!v) return std::nullopt;
       return -*v;
     }
     case ExprKind::Binary: {
       const auto& e = static_cast<const BinaryExpr&>(expr);
-      auto l = evalConstInt(*e.lhs);
-      auto r = evalConstInt(*e.rhs);
+      auto l = evalConstInt(*e.lhs, env);
+      auto r = evalConstInt(*e.rhs, env);
       if (!l || !r) return std::nullopt;
       switch (e.op) {
         case BinaryOp::Add: return *l + *r;
@@ -46,22 +54,27 @@ std::optional<long long> evalConstInt(const Expr& expr) {
   }
 }
 
+std::optional<long long> evalConstInt(const Expr& expr) {
+  return evalConstInt(expr, nullptr);
+}
+
 namespace {
 
 /// Extracts (variable, start) from the loop init statement.
-std::optional<std::pair<std::string, long long>> initOf(const ForStmt& loop) {
+std::optional<std::pair<std::string, long long>> initOf(const ForStmt& loop,
+                                                        const ConstEnv* env) {
   if (!loop.init) return std::nullopt;
   if (loop.init->kind == StmtKind::Decl) {
     const auto& d = static_cast<const DeclStmt&>(*loop.init);
     if (!d.init) return std::nullopt;
-    auto v = evalConstInt(*d.init);
+    auto v = evalConstInt(*d.init, env);
     if (!v) return std::nullopt;
     return std::make_pair(d.name, *v);
   }
   if (loop.init->kind == StmtKind::Assign) {
     const auto& a = static_cast<const AssignStmt&>(*loop.init);
     if (!a.indices.empty()) return std::nullopt;
-    auto v = evalConstInt(*a.value);
+    auto v = evalConstInt(*a.value, env);
     if (!v) return std::nullopt;
     return std::make_pair(a.target, *v);
   }
@@ -69,7 +82,8 @@ std::optional<std::pair<std::string, long long>> initOf(const ForStmt& loop) {
 }
 
 /// Extracts the step `i = i (+|-) c` for variable `var`.
-std::optional<long long> stepOf(const ForStmt& loop, const std::string& var) {
+std::optional<long long> stepOf(const ForStmt& loop, const std::string& var,
+                                const ConstEnv* env) {
   if (!loop.step || loop.step->kind != StmtKind::Assign) return std::nullopt;
   const auto& a = static_cast<const AssignStmt&>(*loop.step);
   if (a.target != var || !a.indices.empty()) return std::nullopt;
@@ -78,7 +92,7 @@ std::optional<long long> stepOf(const ForStmt& loop, const std::string& var) {
   if (b.lhs->kind != ExprKind::VarRef ||
       static_cast<const VarRef&>(*b.lhs).name != var)
     return std::nullopt;
-  auto c = evalConstInt(*b.rhs);
+  auto c = evalConstInt(*b.rhs, env);
   if (!c) return std::nullopt;
   if (b.op == BinaryOp::Add) return *c;
   if (b.op == BinaryOp::Sub) return -*c;
@@ -87,11 +101,16 @@ std::optional<long long> stepOf(const ForStmt& loop, const std::string& var) {
 
 }  // namespace
 
-std::optional<long long> staticTripCount(const ForStmt& loop) {
-  auto init = initOf(loop);
+std::optional<long long> staticTripCount(const ForStmt& loop, const ConstEnv* env) {
+  // `env` maps variables to their values at the loop head on every entry
+  // (ir/dataflow.hpp constant propagation). The induction variable itself is
+  // never constant across iterations of a nonzero-step loop, so it can never
+  // be folded here; every other variable the init/cond/step read is, by the
+  // head-environment argument, unchanged between init and head.
+  auto init = initOf(loop, env);
   if (!init || !loop.cond) return std::nullopt;
   const auto& [var, start] = *init;
-  auto step = stepOf(loop, var);
+  auto step = stepOf(loop, var, env);
   if (!step || *step == 0) return std::nullopt;
 
   if (loop.cond->kind != ExprKind::Binary) return std::nullopt;
@@ -99,7 +118,7 @@ std::optional<long long> staticTripCount(const ForStmt& loop) {
   if (cond.lhs->kind != ExprKind::VarRef ||
       static_cast<const VarRef&>(*cond.lhs).name != var)
     return std::nullopt;
-  auto boundOpt = evalConstInt(*cond.rhs);
+  auto boundOpt = evalConstInt(*cond.rhs, env);
   if (!boundOpt) return std::nullopt;
   long long bound = *boundOpt;
 
@@ -121,6 +140,10 @@ std::optional<long long> staticTripCount(const ForStmt& loop) {
   if (*step >= 0) return std::nullopt;
   if (start <= bound) return 0;
   return (start - bound + (-*step) - 1) / (-*step);
+}
+
+std::optional<long long> staticTripCount(const ForStmt& loop) {
+  return staticTripCount(loop, nullptr);
 }
 
 }  // namespace hetpar::ir

@@ -6,7 +6,9 @@
 // "annotated with iteration counts").
 #pragma once
 
+#include <map>
 #include <optional>
+#include <string>
 
 #include "hetpar/frontend/ast.hpp"
 
@@ -14,10 +16,18 @@ namespace hetpar::ir {
 
 /// Trip count of `for (i = c0; i REL c1; i = i +/- c2) ...` with integer
 /// literal constants; nullopt when the loop is not in that canonical shape.
+/// The `env` overload also folds variables the constant-propagation client
+/// proved constant at the loop head (ir/dataflow.hpp), so
+/// symbolic-looking-but-constant bounds stop degrading to "unknown".
 std::optional<long long> staticTripCount(const frontend::ForStmt& loop);
+std::optional<long long> staticTripCount(const frontend::ForStmt& loop,
+                                         const std::map<std::string, long long>* env);
 
 /// Evaluates an integer-constant expression (literals and + - * / % of
-/// them); nullopt if the expression involves variables or floats.
+/// them); nullopt if the expression involves variables or floats. The `env`
+/// overload resolves variable references through the given constant map.
 std::optional<long long> evalConstInt(const frontend::Expr& expr);
+std::optional<long long> evalConstInt(const frontend::Expr& expr,
+                                      const std::map<std::string, long long>* env);
 
 }  // namespace hetpar::ir

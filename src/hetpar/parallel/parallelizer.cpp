@@ -162,7 +162,8 @@ Parallelizer::LaneOutput Parallelizer::runLane(NodeId id, SolutionKind kind, Cla
           (upperBound <= 0 || greedy.timeSeconds * 1.02 < upperBound))
         upperBound = greedy.timeSeconds * 1.02;
       region.upperBoundSeconds = upperBound;
-      const char keyTag = static_cast<char>(options_.dependenceMode);
+      const char keyTag = static_cast<char>(static_cast<int>(options_.dependenceMode) +
+                                            2 * static_cast<int>(options_.flowMode));
       const IlpParResult r = solveTaskCached(region, solver, cache, out.stats, keyTag);
       feasible = r.feasible;
       if (feasible) cand = decodeTaskParallel(node, region, r);
@@ -174,7 +175,8 @@ Parallelizer::LaneOutput Parallelizer::runLane(NodeId id, SolutionKind kind, Cla
     } else {
       ChunkRegion region = buildChunkRegion(id, sets, seqPC, budget);
       region.upperBoundSeconds = upperBound;
-      const char keyTag = static_cast<char>(options_.dependenceMode);
+      const char keyTag = static_cast<char>(static_cast<int>(options_.dependenceMode) +
+                                            2 * static_cast<int>(options_.flowMode));
       const ChunkResult r = solveChunkCached(region, solver, cache, out.stats, keyTag);
       feasible = r.feasible;
       if (feasible) cand = decodeChunked(node, r, seqPC);

@@ -70,6 +70,9 @@ struct ParallelizerOptions {
   /// Dependence mode the HTG was built with. Folded into region-cache keys
   /// so graphs from different modes never share memoized ILP solutions.
   ir::DependenceMode dependenceMode = ir::DependenceMode::Conservative;
+  /// Flow mode the HTG was built with; folded into region-cache keys for the
+  /// same reason (Live prunes comm payloads, changing region economics).
+  ir::FlowMode flowMode = ir::FlowMode::Conservative;
 };
 
 struct ParallelizeOutcome {

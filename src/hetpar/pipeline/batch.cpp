@@ -27,6 +27,7 @@ BatchJobResult compileOne(const BatchJob& job, const BatchConfig& config) {
     inputs.source = job.source;
     inputs.platform = config.platform;
     inputs.depMode = config.depMode;
+    inputs.flowMode = config.flowMode;
     inputs.parallelizer = config.parallelizer;
     inputs.parallelizer.jobs = 1;
     inputs.parallelizer.regionCache = config.regionCache;

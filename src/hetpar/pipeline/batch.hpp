@@ -35,6 +35,7 @@ struct BatchConfig {
   /// Class running the main task; -1 = the platform's slowest class.
   platform::ClassId mainClass = -1;
   ir::DependenceMode depMode = ir::DependenceMode::Conservative;
+  ir::FlowMode flowMode = ir::FlowMode::Conservative;
   parallel::ParallelizerOptions parallelizer;  ///< `jobs` ignored (forced 1)
   bool simulate = false;
   int workers = 1;  ///< concurrent jobs; <1 = hardware concurrency

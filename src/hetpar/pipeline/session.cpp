@@ -33,7 +33,7 @@ void report(std::vector<PassRecord>* records, PassRecord rec) {
 }  // namespace
 
 htg::FrontendBundle buildFrontend(std::string_view source, ir::DependenceMode mode,
-                                  std::vector<PassRecord>* records) {
+                                  ir::FlowMode flow, std::vector<PassRecord>* records) {
   // Mirrors htg::buildFromSource stage for stage (same calls, same order),
   // adding only timing. The produced bundle is bit-identical to it.
   htg::FrontendBundle bundle;
@@ -51,8 +51,19 @@ htg::FrontendBundle buildFrontend(std::string_view source, ir::DependenceMode mo
   {
     const auto start = Clock::now();
     bundle.defuse = std::make_unique<ir::DefUseAnalysis>(bundle.program, bundle.sema);
-    bundle.sections = std::make_unique<ir::SectionAnalysis>(bundle.program, bundle.sema);
-    report(records, {"sections", secondsSince(start), 0, 0, 0});
+    if (flow == ir::FlowMode::Live) {
+      // The dataflow pass builds its own constprop-sharpened section
+      // analysis; adopt it so every downstream consumer sees one set. Its
+      // time (liveness + constprop + diagnostics + the section build) is
+      // booked under the separate "dataflow" record.
+      bundle.dataflow = std::make_unique<ir::DataflowAnalysis>(bundle.program, bundle.sema,
+                                                              *bundle.defuse);
+      bundle.sections = bundle.dataflow->takeSections();
+      report(records, {"dataflow", secondsSince(start), 0, 0, 0});
+    } else {
+      bundle.sections = std::make_unique<ir::SectionAnalysis>(bundle.program, bundle.sema);
+      report(records, {"sections", secondsSince(start), 0, 0, 0});
+    }
   }
   {
     const auto start = Clock::now();
@@ -60,6 +71,8 @@ htg::FrontendBundle buildFrontend(std::string_view source, ir::DependenceMode mo
     ir::DependenceOptions dep;
     dep.mode = mode;
     dep.sections = bundle.sections.get();
+    dep.flow = flow;
+    dep.dataflow = bundle.dataflow.get();
     bundle.graph =
         htg::buildGraph({bundle.program, bundle.sema, *bundle.defuse, bundle.profile, dep});
     report(records, {"htg", secondsSince(start),
@@ -87,7 +100,7 @@ Session::Session(SessionInputs inputs) : inputs_(std::move(inputs)) {
 const htg::FrontendBundle& Session::frontend() {
   if (bundle_ != nullptr) return *bundle_;
   bundle_ = std::make_unique<htg::FrontendBundle>(
-      buildFrontend(inputs_.source, inputs_.depMode, &records_));
+      buildFrontend(inputs_.source, inputs_.depMode, inputs_.flowMode, &records_));
   htg::validateOrThrow(bundle_->graph);
   return *bundle_;
 }
@@ -102,6 +115,7 @@ std::string Session::outcomeKey() const {
   d.put(inputs_.source);
   d.put(platform::toText(inputs_.platform));
   d.putI64(static_cast<long long>(inputs_.depMode));
+  d.putI64(static_cast<long long>(inputs_.flowMode));
   const parallel::ParallelizerOptions& po = inputs_.parallelizer;
   d.putI64(po.maxTasksPerRegion);
   d.putI64(po.chunkCount);
@@ -146,6 +160,7 @@ const parallel::ParallelizeOutcome& Session::parallelize() {
 
   parallel::ParallelizerOptions po = inputs_.parallelizer;
   po.dependenceMode = inputs_.depMode;
+  po.flowMode = inputs_.flowMode;
   parallel::Parallelizer tool(bundle.graph, *timing_, po);
   outcome_ = std::make_unique<parallel::ParallelizeOutcome>(tool.run());
   parallelizeCached_ = false;
@@ -229,12 +244,14 @@ std::string Session::emitPremap(platform::ClassId mainClass) {
 std::string Session::emitDot() {
   const htg::Graph& graph = frontend().graph;
   std::string text;
-  if (inputs_.depMode == ir::DependenceMode::Affine) {
-    // Overlay the conservative edges the affine analysis pruned; building
+  if (inputs_.depMode == ir::DependenceMode::Affine ||
+      inputs_.flowMode == ir::FlowMode::Live) {
+    // Overlay the conservative edges the refined analyses pruned; building
     // the conservative twin records its own frontend passes (it IS a second
     // frontend run — --explain-timings shows it honestly).
     const htg::FrontendBundle cons =
-        buildFrontend(inputs_.source, ir::DependenceMode::Conservative, &records_);
+        buildFrontend(inputs_.source, ir::DependenceMode::Conservative,
+                      ir::FlowMode::Conservative, &records_);
     const auto start = Clock::now();
     text = htg::toDotWithBaseline(graph, cons.graph);
     report(&records_, {"emit", secondsSince(start), static_cast<long long>(text.size()), 0, 0});

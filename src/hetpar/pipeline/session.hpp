@@ -49,6 +49,7 @@ namespace hetpar::pipeline {
 /// produced bundle is bit-identical to it.
 htg::FrontendBundle buildFrontend(std::string_view source,
                                   ir::DependenceMode mode = ir::DependenceMode::Conservative,
+                                  ir::FlowMode flow = ir::FlowMode::Conservative,
                                   std::vector<PassRecord>* records = nullptr);
 
 /// Runs the parallelize pass standalone over an existing graph/timing pair
@@ -65,9 +66,12 @@ struct SessionInputs {
   std::string source;  ///< the sequential mini-C program
   platform::Platform platform;
   ir::DependenceMode depMode = ir::DependenceMode::Conservative;
-  /// Solver knobs. `dependenceMode` is overwritten from `depMode`; `jobs`
-  /// and the region cache do not affect outcomes (and are excluded from the
-  /// artifact key).
+  /// FlowMode::Live runs the dataflow pass and prunes comm payloads by
+  /// liveness; Conservative reproduces the historical graphs bit for bit.
+  ir::FlowMode flowMode = ir::FlowMode::Conservative;
+  /// Solver knobs. `dependenceMode`/`flowMode` are overwritten from
+  /// `depMode`/`flowMode`; `jobs` and the region cache do not affect
+  /// outcomes (and are excluded from the artifact key).
   parallel::ParallelizerOptions parallelizer;
   /// Optional persistent cache shared across sessions and processes.
   std::shared_ptr<ArtifactCache> artifactCache;

@@ -54,7 +54,7 @@ class ChunkGen {
 
   void statement(int depth) {
     if (depth > options_.maxDepth) return;
-    switch (rng_.below(6)) {
+    switch (rng_.below(9)) {
       case 0: {  // elementwise loop
         const std::string iv = "i" + std::to_string(counter_++);
         indent(depth);
@@ -140,6 +140,50 @@ class ChunkGen {
             break;
           }
         }
+        break;
+      }
+      case 5: {  // dead stores: values overwritten before any read
+        const std::string v = "d" + std::to_string(counter_++);
+        const int k = static_cast<int>(rng_.range(0, extent() - 1));
+        const std::string dst = array();
+        indent(depth);
+        os_ << "int " << v << " = " << array() << "[" << rng_.range(0, extent() - 1)
+            << "] + " << rng_.range(1, 9) << ";\n";
+        indent(depth);
+        os_ << v << " = " << rng_.range(1, 30) << ";\n";  // kills the first store
+        indent(depth);
+        os_ << dst << "[" << k << "] = " << rng_.range(1, 9) << ";\n";
+        indent(depth);
+        os_ << dst << "[" << k << "] = " << v << ";\n";  // overwrites the same element
+        break;
+      }
+      case 6: {  // write-only temporary: assigned in a loop, never read
+        const std::string v = "z" + std::to_string(counter_++);
+        const std::string iv = "i" + std::to_string(counter_++);
+        indent(depth);
+        os_ << "int " << v << " = 0;\n";
+        indent(depth);
+        os_ << "for (int " << iv << " = 0; " << iv << " < " << extent() << "; " << iv
+            << " = " << iv << " + 1) { " << v << " = " << array() << "[" << iv << "] * "
+            << rng_.range(1, 4) << "; " << array() << "[" << iv << "] = " << array()
+            << "[" << iv << "] + 1; }\n";
+        break;
+      }
+      case 7: {  // loop bound flowing through constant propagation
+        const std::string a = "n" + std::to_string(counter_++);
+        const std::string b = "m" + std::to_string(counter_++);
+        const std::string iv = "i" + std::to_string(counter_++);
+        const int base = static_cast<int>(rng_.range(2, extent() / 2));
+        const int add = static_cast<int>(rng_.range(0, 2));
+        const std::string dst = array();
+        indent(depth);
+        os_ << "int " << a << " = " << base << ";\n";
+        indent(depth);
+        os_ << "int " << b << " = " << a << " + " << add << ";\n";
+        indent(depth);
+        os_ << "for (int " << iv << " = 0; " << iv << " < " << b << "; " << iv << " = "
+            << iv << " + 1) { " << dst << "[" << iv << "] = " << dst << "[" << iv
+            << "] + " << rng_.range(1, 9) << "; }\n";
         break;
       }
       default: {  // affine-subscript loop (offset / strided / disjoint halves)

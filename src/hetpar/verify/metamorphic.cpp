@@ -534,6 +534,192 @@ RelationResult checkSectionSoundness(const std::string& source) {
   return pass(kR);
 }
 
+RelationResult checkLivenessSoundness(const std::string& source) {
+  constexpr Relation kR = Relation::LivenessSoundness;
+  htg::FrontendBundle bundle =
+      pipeline::buildFrontend(source, ir::DependenceMode::Affine, ir::FlowMode::Live);
+  HETPAR_CHECK(bundle.dataflow != nullptr);
+  const ir::DataflowAnalysis& dfa = *bundle.dataflow;
+  const frontend::Function& mainFn = bundle.program.entry();
+
+  // Statement id -> index of its enclosing top-level statement of main()
+  // (same attribution scheme as SectionSoundness: callee accesses land on
+  // their call site).
+  std::map<int, int> topOf;
+  for (std::size_t t = 0; t < mainFn.body.size(); ++t)
+    frontend::forEachStmt(*mainFn.body[t],
+                          [&](frontend::Stmt& s) { topOf[s.id] = static_cast<int>(t); });
+
+  // Storage-based name attribution is ambiguous for shadowed globals.
+  std::set<std::string> shadowed;
+  for (const auto& fn : bundle.program.functions) {
+    for (const auto& p : fn->params)
+      if (bundle.sema.globals.count(p.name) != 0) shadowed.insert(p.name);
+    for (const auto& s : fn->body)
+      frontend::forEachStmt(*s, [&](frontend::Stmt& st) {
+        if (st.kind != frontend::StmtKind::Decl) return;
+        const auto& d = static_cast<const frontend::DeclStmt&>(st);
+        if (bundle.sema.globals.count(d.name) != 0) shadowed.insert(d.name);
+      });
+  }
+
+  // Element-level def-use chains across top-level statements: when a value
+  // written under statement t is read under a later statement t', it flowed
+  // across every boundary in [t, t'), so liveness must keep the array alive
+  // after each of those statements. (Top-level statements execute in order,
+  // so the write's index never exceeds the read's.)
+  std::map<const void*, std::string> nameOfStorage;
+  std::map<std::pair<const void*, std::vector<long long>>, int> lastWrite;
+  std::string violation;
+
+  cost::AccessObserver obs;
+  obs.onGlobalArray = [&](const std::string& name, const void* storage) {
+    nameOfStorage[storage] = name;
+  };
+  obs.onAccess = [&](const void* storage, const std::vector<long long>& idx, bool isWrite,
+                     const std::vector<int>& attribution) {
+    if (!violation.empty()) return;
+    const auto nit = nameOfStorage.find(storage);
+    if (nit == nameOfStorage.end()) return;  // local array
+    int top = -1;
+    for (int id : attribution) {
+      const auto it = topOf.find(id);
+      if (it != topOf.end()) {
+        top = it->second;
+        break;
+      }
+    }
+    if (top < 0) return;  // not under a top-level statement of main()
+    const std::pair<const void*, std::vector<long long>> key{storage, idx};
+    if (isWrite) {
+      lastWrite[key] = top;
+      return;
+    }
+    if (shadowed.count(nit->second) != 0) return;
+    const auto wit = lastWrite.find(key);
+    // Never written: the zero-initialized value flows from program start.
+    const int tw = wit == lastWrite.end() ? 0 : wit->second;
+    for (int t = tw; t < top && violation.empty(); ++t) {
+      const std::set<std::string>& live =
+          dfa.liveAfter(*mainFn.body[static_cast<std::size_t>(t)]);
+      if (live.count(nit->second) == 0)
+        violation = strings::format(
+            "'%s%s' is %s and read under statement %d, but liveness kills '%s' "
+            "after statement %d",
+            nit->second.c_str(),
+            [&] {
+              std::string out;
+              for (long long v : idx) out += strings::format("[%lld]", v);
+              return out;
+            }()
+                .c_str(),
+            wit == lastWrite.end()
+                ? "never written"
+                : strings::format("written under statement %d", tw).c_str(),
+            top, nit->second.c_str(), t);
+    }
+  };
+
+  try {
+    cost::interpret(bundle.program, bundle.sema, {}, {}, &obs);
+  } catch (const Error& e) {
+    return skip(kR, std::string("program does not execute cleanly: ") + e.what());
+  }
+  if (!violation.empty()) return fail(kR, violation);
+  return pass(kR);
+}
+
+RelationResult checkFlowRefinement(const std::string& source) {
+  constexpr Relation kR = Relation::FlowRefinement;
+  htg::FrontendBundle cons = pipeline::buildFrontend(source, ir::DependenceMode::Affine,
+                                                     ir::FlowMode::Conservative);
+  htg::FrontendBundle live =
+      pipeline::buildFrontend(source, ir::DependenceMode::Affine, ir::FlowMode::Live);
+  htg::validateOrThrow(live.graph);
+  if (cons.graph.size() != live.graph.size())
+    return fail(kR, strings::format("graph sizes differ: %zu conservative vs %zu live",
+                                    cons.graph.size(), live.graph.size()));
+
+  for (htg::NodeId id = 0; id < static_cast<htg::NodeId>(cons.graph.size()); ++id) {
+    const htg::Node& nc = cons.graph.node(id);
+    const htg::Node& nl = live.graph.node(id);
+    if (nc.kind != nl.kind || nc.children != nl.children)
+      return fail(kR, strings::format("node %d: flow modes disagree on graph structure", id));
+    if (!nc.isHierarchical()) continue;
+
+    std::map<htg::NodeId, int> childIndex;
+    for (std::size_t i = 0; i < nc.children.size(); ++i)
+      childIndex[nc.children[i]] = static_cast<int>(i);
+
+    // Conservative per-child comm variable sets and byte totals, plus the
+    // sibling edge set (liveness pruning must leave sibling edges alone).
+    std::map<int, std::set<std::string>> consIn, consOut;
+    std::map<int, long long> consInBytes, consOutBytes;
+    std::set<std::pair<int, int>> consSib;
+    long long consBytes = 0;
+    for (const htg::Edge& e : nc.edges) {
+      consBytes += e.bytes;
+      if (e.from == nc.commIn) {
+        const int child = childIndex.at(e.to);
+        consIn[child].insert(e.vars.begin(), e.vars.end());
+        consInBytes[child] += e.bytes;
+      } else if (e.to == nc.commOut) {
+        const int child = childIndex.at(e.from);
+        consOut[child].insert(e.vars.begin(), e.vars.end());
+        consOutBytes[child] += e.bytes;
+      } else {
+        consSib.insert({childIndex.at(e.from), childIndex.at(e.to)});
+      }
+    }
+
+    std::map<int, long long> liveInBytes, liveOutBytes;
+    long long liveBytes = 0;
+    for (const htg::Edge& e : nl.edges) {
+      liveBytes += e.bytes;
+      if (e.from == nl.commIn) {
+        const int child = childIndex.at(e.to);
+        const auto it = consIn.find(child);
+        for (const std::string& v : e.vars)
+          if (it == consIn.end() || it->second.count(v) == 0)
+            return fail(kR, strings::format("node %d child %d: live comm-in var '%s' "
+                                            "absent from the conservative comm-in set",
+                                            id, child, v.c_str()));
+        liveInBytes[child] += e.bytes;
+      } else if (e.to == nl.commOut) {
+        const int child = childIndex.at(e.from);
+        const auto it = consOut.find(child);
+        for (const std::string& v : e.vars)
+          if (it == consOut.end() || it->second.count(v) == 0)
+            return fail(kR, strings::format("node %d child %d: live comm-out var '%s' "
+                                            "absent from the conservative comm-out set",
+                                            id, child, v.c_str()));
+        liveOutBytes[child] += e.bytes;
+      } else {
+        if (consSib.count({childIndex.at(e.from), childIndex.at(e.to)}) == 0)
+          return fail(kR, strings::format("node %d: live mode introduced sibling edge "
+                                          "%d->%d",
+                                          id, childIndex.at(e.from), childIndex.at(e.to)));
+      }
+    }
+
+    for (const auto& [child, bytes] : liveInBytes)
+      if (bytes > consInBytes[child])
+        return fail(kR, strings::format("node %d child %d: live comm-in bytes %lld exceed "
+                                        "conservative %lld",
+                                        id, child, bytes, consInBytes[child]));
+    for (const auto& [child, bytes] : liveOutBytes)
+      if (bytes > consOutBytes[child])
+        return fail(kR, strings::format("node %d child %d: live comm-out bytes %lld "
+                                        "exceed conservative %lld",
+                                        id, child, bytes, consOutBytes[child]));
+    if (liveBytes > consBytes)
+      return fail(kR, strings::format("node %d: live region bytes %lld exceed "
+                                      "conservative %lld",
+                                      id, liveBytes, consBytes));
+  }
+  return pass(kR);
+}
+
 // ---------------------------------------------------------------------------
 // Region-level relations
 // ---------------------------------------------------------------------------
@@ -683,7 +869,8 @@ std::vector<Relation> allRelations() {
           Relation::OracleTask,     Relation::OracleChunk,
           Relation::SolverDifferential,
           Relation::SimConsistency, Relation::RefinementSoundness,
-          Relation::ScheduleValidity, Relation::SectionSoundness};
+          Relation::ScheduleValidity, Relation::SectionSoundness,
+          Relation::LivenessSoundness, Relation::FlowRefinement};
 }
 
 std::string relationName(Relation r) {
@@ -701,6 +888,8 @@ std::string relationName(Relation r) {
     case Relation::RefinementSoundness: return "refinement-soundness";
     case Relation::ScheduleValidity: return "schedule-validity";
     case Relation::SectionSoundness: return "section-soundness";
+    case Relation::LivenessSoundness: return "liveness-soundness";
+    case Relation::FlowRefinement: return "flow-refinement";
   }
   return "unknown";
 }
@@ -800,6 +989,10 @@ RelationResult checkProgramRelation(Relation r, const std::string& source,
       return checkScheduleValidity(source, pf, options);
     case Relation::SectionSoundness:
       return checkSectionSoundness(source);
+    case Relation::LivenessSoundness:
+      return checkLivenessSoundness(source);
+    case Relation::FlowRefinement:
+      return checkFlowRefinement(source);
     default:
       break;
   }

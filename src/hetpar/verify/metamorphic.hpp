@@ -42,6 +42,20 @@
 //                        whole hull. Unlike ScheduleValidity (which judges
 //                        conflicts with the analysis' own sections), this
 //                        can falsify the analysis itself.
+//   LivenessSoundness    ground truth for the liveness analysis: the
+//                        interpreter traces element-level def-use chains of
+//                        global arrays across main()'s top-level statements
+//                        and checks that whenever a value written by
+//                        statement t is read by a later statement t', the
+//                        array is claimed live-after every statement in
+//                        [t, t'). Falsifiable: the deliberate
+//                        partial-write-kill bug knob in DataflowAnalysis
+//                        makes it fail within a short fuzz run.
+//   FlowRefinement       FlowMode::Live only *refines* Conservative flow:
+//                        identical graph structure, live comm-in/out
+//                        variables are a subset of the conservative ones
+//                        per child, and comm payload bytes never grow —
+//                        per child, per direction, and per region.
 //
 // Program-level relations take (source, platform) — which is what lets the
 // delta-debugging shrinker re-check a reduced program. Region-level
@@ -71,6 +85,8 @@ enum class Relation {
   RefinementSoundness,
   ScheduleValidity,
   SectionSoundness,
+  LivenessSoundness,
+  FlowRefinement,
 };
 
 /// All relations, in a stable order (the fuzzer round-robins over these).

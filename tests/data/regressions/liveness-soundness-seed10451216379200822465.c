@@ -1,0 +1,15 @@
+// hetpar-fuzz regression: relation liveness-soundness, case seed 10451216379200822465
+int ga[32];
+int gb[32];
+int gc[32];
+int helper(int v) { return v * 3 + 1; }
+void fill(int dst[32], int base) {
+  for (int i = 0; i < 32; i = i + 1) { dst[i] = base + i; }
+}
+int main() {
+    gb[0] = gc[31] + 2;
+    gb[31] = gc[0] + 6;
+  int acc = 0;
+  for (int i = 0; i < 32; i = i + 1) { acc = acc + ga[i] + gb[i] + gc[i]; }
+  return acc + 1;
+}

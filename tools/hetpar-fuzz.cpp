@@ -12,6 +12,9 @@
 //                         (default tests/data/regressions; "" disables dumps)
 //   --report <file>       also write the JSON report to a file
 //   --list-relations      print the relation names and exit
+//   --inject-liveness-bug enable the deliberate liveness fault (partial array
+//                         writes treated as kills); the liveness-soundness
+//                         relation must then fail fast (falsifiability check)
 //
 // Exit codes: 0 all cases passed, 1 usage error, 2 at least one failure.
 //
@@ -29,6 +32,7 @@
 #include <vector>
 
 #include "hetpar/ilp/branch_and_bound.hpp"
+#include "hetpar/ir/dataflow.hpp"
 #include "hetpar/pipeline/pass.hpp"
 #include "hetpar/platform/parser.hpp"
 #include "hetpar/support/error.hpp"
@@ -48,13 +52,15 @@ struct Options {
   std::string relations = "all";
   std::string regressionDir = "tests/data/regressions";
   std::string reportPath;
+  bool injectLivenessBug = false;
 };
 
 void usage() {
   std::fprintf(stderr,
                "usage: hetpar-fuzz [--seed n] [--iterations n] [--time-budget sec]\n"
                "                   [--relations list|all] [--regression-dir d]\n"
-               "                   [--report file] [--list-relations]\n");
+               "                   [--report file] [--list-relations]\n"
+               "                   [--inject-liveness-bug]\n");
 }
 
 struct CaseOutcome {
@@ -191,6 +197,8 @@ int main(int argc, char** argv) {
       opts.regressionDir = value();
     } else if (arg == "--report") {
       opts.reportPath = value();
+    } else if (arg == "--inject-liveness-bug") {
+      opts.injectLivenessBug = true;
     } else if (arg == "--list-relations") {
       for (verify::Relation r : verify::allRelations())
         std::printf("%s\n", verify::relationName(r).c_str());
@@ -204,6 +212,8 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+
+  if (opts.injectLivenessBug) ir::DataflowAnalysis::testTreatPartialArrayWritesAsKills() = true;
 
   std::vector<verify::Relation> relations;
   try {

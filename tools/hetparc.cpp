@@ -16,6 +16,15 @@
 //   --dep-mode <m>          dependence analysis mode: conservative (default,
 //                           whole-object name matching) or affine
 //                           (array-section refinement)
+//   --flow-mode <m>         communication payload mode: conservative
+//                           (default, historical byte-identical output) or
+//                           live (liveness-pruned CommIn/CommOut payloads,
+//                           constprop-sharpened trip counts)
+//   --diagnose              print dataflow lint findings (uninitialized
+//                           reads, dead stores, write-only variables) as
+//                           `file:line:col: warning: ...` lines
+//   --dump-live             print per-statement live-after / upward-exposed
+//                           variable sets (runs the dataflow pass)
 //   --dump-deps             print every region's dependence edges (kind,
 //                           variables, sections, payload bytes)
 //   --simulate              simulate sequential vs parallel on the MPSoC
@@ -74,8 +83,11 @@ struct Options {
   std::string emitPremap;
   std::string emitDot;
   std::string depMode = "conservative";
+  std::string flowMode = "conservative";
   std::string solver = "revised";
   std::string cacheDir;
+  bool diagnose = false;
+  bool dumpLive = false;
   bool dumpDeps = false;
   bool simulate = false;
   bool baseline = false;
@@ -92,7 +104,8 @@ void usage() {
                "       hetparc [options] --batch <dir> | --programs <f>...\n"
                "  --preset A|B  --platform <file>  --main-class <name>\n"
                "  --emit-annotated <f>  --emit-parspec <f>  --emit-premap <f>  --emit-dot <f>\n"
-               "  --dep-mode conservative|affine  --dump-deps\n"
+               "  --dep-mode conservative|affine  --flow-mode conservative|live\n"
+               "  --diagnose  --dump-live  --dump-deps\n"
                "  --simulate  --baseline  --stats  --seq-only  --jobs <n>\n"
                "  --solver revised|dense\n"
                "  --batch <dir>  --programs <f>...  --cache-dir <dir>  --explain-timings\n");
@@ -134,6 +147,13 @@ bool parseArgs(int argc, char** argv, Options& opts) {
         std::fprintf(stderr, "hetparc: --dep-mode expects 'conservative' or 'affine'\n");
         return false;
       }
+    } else if (arg == "--flow-mode") {
+      if ((value = needValue(i)) == nullptr) return false;
+      opts.flowMode = value;
+      if (opts.flowMode != "conservative" && opts.flowMode != "live") {
+        std::fprintf(stderr, "hetparc: --flow-mode expects 'conservative' or 'live'\n");
+        return false;
+      }
     } else if (arg == "--solver") {
       if ((value = needValue(i)) == nullptr) return false;
       opts.solver = value;
@@ -141,6 +161,10 @@ bool parseArgs(int argc, char** argv, Options& opts) {
         std::fprintf(stderr, "hetparc: --solver expects 'revised' or 'dense'\n");
         return false;
       }
+    } else if (arg == "--diagnose") {
+      opts.diagnose = true;
+    } else if (arg == "--dump-live") {
+      opts.dumpLive = true;
     } else if (arg == "--dump-deps") {
       opts.dumpDeps = true;
     } else if (arg == "--simulate") {
@@ -256,6 +280,41 @@ void dumpDeps(const hetpar::htg::FrontendBundle& bundle) {
   }
 }
 
+void printDiagnostics(const std::string& sourcePath,
+                      const hetpar::ir::DataflowAnalysis& dfa) {
+  using namespace hetpar;
+  for (const ir::FlowDiagnostic& d : dfa.diagnostics()) {
+    std::printf("%s:%d:%d: warning: %s [%s]", sourcePath.c_str(), d.loc.line, d.loc.column,
+                ir::flowDiagnosticMessage(d).c_str(),
+                ir::flowDiagnosticKindName(d.kind).c_str());
+    if (!d.function.empty()) std::printf(" (function '%s')", d.function.c_str());
+    std::printf("\n");
+  }
+  std::fprintf(stderr, "hetparc: %zu dataflow finding(s)\n", dfa.diagnostics().size());
+}
+
+void printLiveSets(const hetpar::frontend::Program& program,
+                   const hetpar::ir::DataflowAnalysis& dfa) {
+  using namespace hetpar;
+  const auto joined = [](const std::set<std::string>& names) {
+    std::string out;
+    for (const std::string& n : names) {
+      if (!out.empty()) out += ' ';
+      out += n;
+    }
+    return out.empty() ? std::string("-") : out;
+  };
+  for (const auto& fn : program.functions) {
+    std::printf("function %s:\n", fn->name.c_str());
+    for (std::size_t i = 0; i < fn->body.size(); ++i) {
+      const frontend::Stmt& s = *fn->body[i];
+      std::printf("  stmt %zu (line %d): live-after {%s}  upward-exposed {%s}\n", i,
+                  s.loc.line, joined(dfa.liveAfter(s)).c_str(),
+                  joined(dfa.upwardExposed(s)).c_str());
+    }
+  }
+}
+
 hetpar::platform::Platform resolvePlatform(const Options& opts) {
   using namespace hetpar;
   return !opts.platformPath.empty() ? platform::parsePlatform(readFile(opts.platformPath))
@@ -305,11 +364,14 @@ int runSingle(const Options& opts) {
   const ir::DependenceMode depMode = opts.depMode == "affine"
                                          ? ir::DependenceMode::Affine
                                          : ir::DependenceMode::Conservative;
+  const ir::FlowMode flowMode =
+      opts.flowMode == "live" ? ir::FlowMode::Live : ir::FlowMode::Conservative;
   pipeline::SessionInputs inputs;
   inputs.name = opts.sourcePath;
   inputs.source = readFile(opts.sourcePath);
   inputs.platform = pf;
   inputs.depMode = depMode;
+  inputs.flowMode = flowMode;
   inputs.parallelizer.jobs = opts.jobs;
   inputs.parallelizer.solverEngine = opts.solver == "dense"
                                          ? ilp::SolverEngine::Dense
@@ -322,6 +384,17 @@ int runSingle(const Options& opts) {
                        "checksum %lld [%s deps]\n",
                bundle.graph.size(), bundle.graph.hierarchicalCount(),
                bundle.profile.totalOps, bundle.profile.exitValue, opts.depMode.c_str());
+  std::unique_ptr<ir::DataflowAnalysis> localDfa;
+  const ir::DataflowAnalysis* dfa = bundle.dataflow.get();
+  if ((opts.diagnose || opts.dumpLive) && dfa == nullptr) {
+    // Diagnostics without --flow-mode live: run the dataflow pass on the
+    // side (it does not influence the graph in conservative mode).
+    localDfa =
+        std::make_unique<ir::DataflowAnalysis>(bundle.program, bundle.sema, *bundle.defuse);
+    dfa = localDfa.get();
+  }
+  if (opts.diagnose) printDiagnostics(opts.sourcePath, *dfa);
+  if (opts.dumpLive) printLiveSets(bundle.program, *dfa);
   if (opts.dumpDeps) dumpDeps(bundle);
   if (!opts.emitDot.empty()) writeFile(opts.emitDot, session.emitDot());
   if (opts.seqOnly) {
@@ -355,6 +428,7 @@ int runSingle(const Options& opts) {
     if (opts.baseline) {
       parallel::ParallelizerOptions parOpts = session.inputs().parallelizer;
       parOpts.dependenceMode = depMode;
+      parOpts.flowMode = flowMode;
       parallel::HomogeneousRun homog =
           parallel::runHomogeneousBaseline(bundle.graph, pf, mainClass, parOpts);
       if (opts.stats)
@@ -392,7 +466,10 @@ int runBatchMode(const Options& opts) {
   config.mainClass = resolveMainClass(config.platform, opts);
   config.depMode = opts.depMode == "affine" ? ir::DependenceMode::Affine
                                             : ir::DependenceMode::Conservative;
+  config.flowMode = opts.flowMode == "live" ? ir::FlowMode::Live
+                                            : ir::FlowMode::Conservative;
   config.parallelizer.dependenceMode = config.depMode;
+  config.parallelizer.flowMode = config.flowMode;
   config.parallelizer.solverEngine = opts.solver == "dense"
                                          ? ilp::SolverEngine::Dense
                                          : ilp::SolverEngine::Revised;
